@@ -1,0 +1,15 @@
+"""Sec IV-B: fraction of instructions requiring coordination."""
+
+from repro.harness import coordination_claims
+
+
+def test_coordination_claims(benchmark, save):
+    result = benchmark.pedantic(coordination_claims, rounds=1, iterations=1)
+    save("coordination", result.text)
+    summary = result.summary
+    # Coordination sites are a large fraction of all instructions
+    # (paper: 48.83%), and the optimizations eliminate most of the
+    # actual coordination operations (paper: down to 24.61%).
+    assert 20.0 < summary["sites_pct"] < 70.0
+    assert summary["full_coordination_pct"] < \
+        0.6 * summary["base_coordination_pct"]

@@ -1,0 +1,15 @@
+"""Fig 8: host instructions per coordination operation (14 -> 3)."""
+
+from repro.harness import PAPER, fig8
+
+
+def test_fig8(benchmark, save):
+    result = benchmark.pedantic(fig8, rounds=1, iterations=1)
+    save("fig08", result.text)
+    summary = result.summary
+    # The packed scheme must be several times cheaper than the parsed
+    # one (the paper reports 14 -> 3, a 78% saving).
+    assert summary["parsed_insns_per_sync"] > \
+        2.5 * summary["packed_insns_per_sync"]
+    assert summary["packed_insns_per_sync"] < 4.0
+    assert 50.0 < summary["saving_pct"] < 90.0

@@ -1,0 +1,17 @@
+"""Fig 14: per-benchmark speedup over QEMU (un-opt vs full opt)."""
+
+from repro.harness import fig14
+
+
+def test_fig14(benchmark, save):
+    result = benchmark.pedantic(fig14, rounds=1, iterations=1)
+    save("fig14", result.text)
+    summary = result.summary
+    # Headline claims: naive rule application is NOT faster than QEMU
+    # (the paper measures a 5% slowdown); the fully-optimized system is
+    # decisively faster on every benchmark.
+    assert summary["unopt_geomean"] < 1.05
+    assert summary["full_geomean"] > 1.2
+    for row in result.rows:
+        assert row["full_speedup"] > 1.0, row
+        assert row["full_speedup"] > row["unopt_speedup"], row

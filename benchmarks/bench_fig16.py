@@ -1,0 +1,15 @@
+"""Fig 16: cumulative speedup after each optimization."""
+
+from repro.harness import fig16
+
+
+def test_fig16(benchmark, save):
+    result = benchmark.pedantic(fig16, rounds=1, iterations=1)
+    save("fig16", result.text)
+    summary = result.summary
+    # Monotone improvement; Base must be at best marginal vs QEMU.
+    assert summary["Base"] < 1.05
+    assert summary["Base"] < summary["+Reduction"]
+    assert summary["+Reduction"] < summary["+Elimination"]
+    assert summary["+Scheduling"] >= 0.98 * summary["+Elimination"]
+    assert summary["+Scheduling"] > 1.2

@@ -1,0 +1,16 @@
+"""Fig 17: coordination host instructions per guest instruction."""
+
+from repro.harness import fig17
+
+
+def test_fig17(benchmark, save):
+    result = benchmark.pedantic(fig17, rounds=1, iterations=1)
+    save("fig17", result.text)
+    summary = result.summary
+    # Each optimization strictly reduces coordination traffic
+    # (paper: 8.36 -> 1.79 -> 1.33 -> 0.89).
+    assert summary["Base"] > summary["+Reduction"]
+    assert summary["+Reduction"] > summary["+Elimination"]
+    assert summary["+Scheduling"] <= summary["+Elimination"] * 1.01
+    assert summary["+Scheduling"] < 1.0
+    assert summary["Base"] > 3.0

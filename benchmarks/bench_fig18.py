@@ -1,0 +1,15 @@
+"""Fig 18: slowdown vs native execution."""
+
+from repro.harness import fig18
+
+
+def test_fig18(benchmark, save):
+    result = benchmark.pedantic(fig18, rounds=1, iterations=1)
+    save("fig18", result.text)
+    summary = result.summary
+    # Both systems are an order of magnitude slower than native; the
+    # rule-based system is consistently closer to native than QEMU
+    # (paper: 18.73x vs 13.83x).
+    assert 5.0 < summary["rules_geomean"] < summary["qemu_geomean"] < 30.0
+    for row in result.rows:
+        assert row["rules_slowdown"] < row["qemu_slowdown"], row

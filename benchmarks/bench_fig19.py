@@ -1,0 +1,20 @@
+"""Fig 19: real-world application speedups."""
+
+from repro.harness import fig19
+
+
+def test_fig19(benchmark, save):
+    result = benchmark.pedantic(fig19, rounds=1, iterations=1)
+    save("fig19", result.text)
+    rows = {row["application"]: row for row in result.rows}
+    # Everything speeds up; the I/O- and network-bound applications
+    # (fileio, untar, memcached) gain the least, exactly as the paper
+    # argues, while the CPU-bound ones gain the most.
+    for row in result.rows:
+        assert row["speedup"] > 1.0, row
+    io_bound = min(rows["fileio"]["speedup"], rows["untar"]["speedup"],
+                   rows["memcached"]["speedup"])
+    cpu_bound = max(rows["cpu-prime"]["speedup"], rows["sqlite"]["speedup"])
+    assert cpu_bound > io_bound
+    assert rows["fileio"]["io_fraction"] > 0.4
+    assert 1.0 < result.summary["geomean"] < 1.6

@@ -1,0 +1,28 @@
+"""Table I: distribution of coordination-requiring categories."""
+
+from repro.harness import PAPER, table1
+
+
+def test_table1(benchmark, save):
+    result = benchmark.pedantic(table1, rounds=1, iterations=1)
+    save("table1", result.text)
+    summary = result.summary
+    rows = {row["benchmark"]: row for row in result.rows}
+
+    # Memory accesses dominate; interrupt checks second; system-level
+    # instructions are a small fraction (the paper's ordering).
+    assert summary["memory_geomean"] > summary["check_geomean"] > \
+        summary["system_geomean"]
+    assert summary["system_geomean"] < 1.0
+    assert 10.0 < summary["memory_geomean"] < 60.0
+    assert 5.0 < summary["check_geomean"] < 30.0
+
+    # Per-benchmark character: gcc is the most system-instruction heavy;
+    # hmmer has the longest blocks (fewest checks); mcf and hmmer are
+    # among the most memory-intensive.
+    assert rows["gcc"]["system_pct"] == max(r["system_pct"]
+                                            for r in result.rows)
+    assert rows["hmmer"]["check_pct"] == min(r["check_pct"]
+                                             for r in result.rows)
+    memory_sorted = sorted(result.rows, key=lambda r: -r["memory_pct"])
+    assert {"mcf", "hmmer"} <= {r["benchmark"] for r in memory_sorted[:4]}

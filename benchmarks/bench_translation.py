@@ -1,0 +1,71 @@
+"""Micro-benchmarks of the simulator itself (wall-clock, pytest-benchmark).
+
+These time the Python implementation, not the modelled guest: translator
+throughput and end-to-end emulation speed for each engine on one small
+workload.  Useful for tracking regressions in the reproduction's own
+performance.
+"""
+
+import pytest
+
+from repro.core import OptLevel, make_rule_engine
+from repro.guest.asm import assemble
+from repro.harness import run_workload
+from repro.harness.runner import make_machine
+from repro.miniqemu.machine import TcgEngine, Machine
+from repro.workloads.spec import SPEC_WORKLOADS
+
+_BLOCK = """
+    add r0, r1, r2
+    subs r3, r0, #17
+    and r4, r3, r0, lsl #2
+    ldr r5, [r4, #8]
+    str r5, [r4, #12]
+    cmp r5, r0
+    bne target
+target:
+    bx lr
+"""
+
+
+@pytest.fixture(scope="module")
+def block_machine():
+    machine = Machine(engine="tcg")
+    program = assemble(_BLOCK, base=0x40000)
+    machine.memory.load_program(program)
+    return machine
+
+
+def test_tcg_translation_speed(benchmark, block_machine):
+    engine = TcgEngine(block_machine)
+
+    def translate():
+        return engine.translate(0x40000, 0)
+
+    tb = benchmark(translate)
+    assert tb.guest_insn_count == 7
+
+
+def test_rule_translation_speed(benchmark, block_machine):
+    from repro.core.engine import RuleEngine
+
+    engine = RuleEngine(block_machine, level=OptLevel.FULL)
+
+    def translate():
+        return engine.translate(0x40000, 0)
+
+    tb = benchmark(translate)
+    assert tb.guest_insn_count == 7
+
+
+@pytest.mark.parametrize("engine", ["interp", "tcg", "rules-full"])
+def test_emulation_wall_clock(benchmark, engine):
+    workload = SPEC_WORKLOADS["sjeng"]  # the smallest SPEC analog
+
+    def run():
+        machine = make_machine(workload, engine)
+        machine.run(workload.max_insns)
+        return machine
+
+    machine = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert machine.exit_code == 0

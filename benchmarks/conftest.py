@@ -1,0 +1,24 @@
+"""Shared infrastructure for the figure benchmarks.
+
+All figure benchmarks share one process-wide sweep cache
+(:mod:`repro.harness.runner`), so the full suite runs each
+(workload, engine) pair exactly once.  Every rendered table is also
+written to ``benchmarks/results/<name>.txt`` for EXPERIMENTS.md.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def save_result(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print("\n" + text)
+
+
+@pytest.fixture
+def save():
+    return save_result

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Inspect how one guest block translates under each engine.
+
+Shows, side by side, the guest ARM code of a basic block and the host
+x86 code produced by (a) the TCG-style baseline, (b) the rule-based
+translator at Base, and (c) at full optimization — making the CPU-state
+coordination (sync-save/sync-restore, the packed FLAGS slot, the
+interrupt check) directly visible.
+
+Run:  python examples/inspect_translation.py
+"""
+
+from repro.core import OptLevel, make_rule_engine
+from repro.core.engine import RuleEngine
+from repro.guest.asm import assemble
+from repro.miniqemu.machine import Machine, TcgEngine
+
+BLOCK_ADDR = 0x40000
+
+#: A block with the paper's pain points: a flag producer, a dependent
+#: conditional instruction, consecutive memory accesses, and a
+#: conditional branch consuming the flags.
+GUEST_BLOCK = """
+    cmp r1, #10
+    addge r2, r2, #1
+    str r2, [r3]
+    str r2, [r3, #4]
+    ldr r4, [r3, #8]
+    bne somewhere
+somewhere:
+    nop
+"""
+
+
+def show(title, code, max_lines=80):
+    print(f"\n--- {title} ({len(code)} host instructions) ---")
+    for index, insn in enumerate(code[:max_lines]):
+        tag = f"[{insn.tag}]"
+        print(f"  {index:3d}  {tag:<11s} {insn}")
+    if len(code) > max_lines:
+        print(f"  ... {len(code) - max_lines} more")
+
+
+def main():
+    machine = Machine(engine="tcg")
+    machine.memory.load_program(assemble(GUEST_BLOCK, base=BLOCK_ADDR))
+
+    print("guest block:")
+    for line in GUEST_BLOCK.strip().splitlines():
+        print("   " + line.strip())
+
+    tcg_tb = TcgEngine(machine).translate(BLOCK_ADDR, 0)
+    show("MiniQEMU (TCG two-step translation)", tcg_tb.code)
+
+    for level in (OptLevel.BASE, OptLevel.FULL):
+        engine = RuleEngine(machine, level=level)
+        tb = engine.translate(BLOCK_ADDR, 0)
+        show(f"rule-based, {level.name}", tb.code)
+        meta = tb.meta
+        print(f"  coordination: {meta['sync_saves']} saves, "
+              f"{meta['sync_restores']} restores, "
+              f"{meta['sync_insns']} sync instructions")
+
+    print("\nNote how Base brackets every memory access and conditional "
+          "with parsed\nsync sequences, while the optimized version keeps "
+          "the guest CCR in the\nhost FLAGS register and uses one packed "
+          "save (pushfd/pop/mov).")
+
+
+if __name__ == "__main__":
+    main()

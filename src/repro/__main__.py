@@ -1,0 +1,158 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``list`` — available workloads, engines and experiments.
+- ``run WORKLOAD [--engine E]`` — run a named workload, print its guest
+  console output and the cost metrics.
+- ``exec FILE.s [--engine E]`` — assemble a user program (the body after
+  the kernel's syscall prelude; must define ``main``) and run it under
+  the mini guest OS.
+- ``bench EXPERIMENT`` — reproduce one paper table/figure (or ``all``).
+- ``learn [--save PATH]`` — run the rule-learning pipeline; optionally
+  save the rulebook as JSON.
+- ``compare WORKLOAD`` — run one workload on every engine and print a
+  side-by-side cost comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .harness import ALL_EXPERIMENTS, ENGINE_SPECS, format_table, \
+    run_workload
+from .workloads import ALL_WORKLOADS
+
+
+def cmd_list(_args) -> int:
+    print("workloads:")
+    for name, workload in sorted(ALL_WORKLOADS.items()):
+        print(f"  {name:12s} [{workload.category}]")
+    print("\nengines:", ", ".join(ENGINE_SPECS))
+    print("\nexperiments:", ", ".join(sorted(ALL_EXPERIMENTS)), "| all")
+    return 0
+
+
+def _print_run(result) -> None:
+    print(result.output, end="")
+    print(f"--- {result.workload} on {result.engine} ---")
+    print(f"guest instructions : {result.guest_icount}")
+    print(f"host instructions  : {result.host_instructions:.0f}")
+    print(f"host cost          : {result.host_cost:.0f}")
+    print(f"device time        : {result.io_cost:.0f}")
+    print(f"cost per guest insn: {result.cost_per_guest:.2f}")
+
+
+def cmd_run(args) -> int:
+    workload = ALL_WORKLOADS.get(args.workload)
+    if workload is None:
+        print(f"unknown workload {args.workload!r} "
+              f"(try: python -m repro list)", file=sys.stderr)
+        return 2
+    _print_run(run_workload(workload, args.engine))
+    return 0
+
+
+def cmd_exec(args) -> int:
+    from .workloads.spec import Workload
+
+    with open(args.file) as handle:
+        body = handle.read()
+    workload = Workload(name=args.file, body=body)
+    _print_run(run_workload(workload, args.engine))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    workload = ALL_WORKLOADS.get(args.workload)
+    if workload is None:
+        print(f"unknown workload {args.workload!r}", file=sys.stderr)
+        return 2
+    rows = []
+    baseline = None
+    for engine in ("interp", "tcg", "rules-base", "rules-full"):
+        result = run_workload(workload, engine)
+        if engine == "tcg":
+            baseline = result.runtime
+        rows.append([engine, result.guest_icount,
+                     f"{result.runtime:.0f}",
+                     f"{result.cost_per_guest:.2f}", result.runtime])
+    for row in rows:
+        runtime = row.pop()
+        row.append(f"{baseline / runtime:.2f}x" if row[0] != "interp"
+                   else "--")
+    print(format_table(
+        ["Engine", "Guest insns", "Runtime", "Cost/guest",
+         "Speedup vs QEMU"], rows,
+        title=f"{args.workload}: engine comparison"))
+    return 0
+
+
+def cmd_bench(args) -> int:
+    names = sorted(ALL_EXPERIMENTS) if args.experiment == "all" \
+        else [args.experiment]
+    for name in names:
+        experiment = ALL_EXPERIMENTS.get(name)
+        if experiment is None:
+            print(f"unknown experiment {name!r} "
+                  f"(one of: {', '.join(sorted(ALL_EXPERIMENTS))})",
+                  file=sys.stderr)
+            return 2
+        print(experiment().text)
+        print()
+    return 0
+
+
+def cmd_learn(args) -> int:
+    from .learning import learn
+    from .learning.serialize import save_rulebook
+
+    result = learn()
+    print(result.summary())
+    for reason in result.rejected:
+        print("  rejected:", reason)
+    if args.save:
+        save_rulebook(result.rulebook, args.save)
+        print(f"rulebook saved to {args.save} "
+              f"({len(result.rules)} rules)")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="System-level rule-based DBT reproduction (CGO 2024)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads/engines/experiments")
+
+    run_parser = sub.add_parser("run", help="run a named workload")
+    run_parser.add_argument("workload")
+    run_parser.add_argument("--engine", default="rules-full",
+                            choices=ENGINE_SPECS)
+
+    exec_parser = sub.add_parser("exec", help="run a guest assembly file")
+    exec_parser.add_argument("file")
+    exec_parser.add_argument("--engine", default="rules-full",
+                             choices=ENGINE_SPECS)
+
+    compare_parser = sub.add_parser("compare",
+                                    help="compare engines on a workload")
+    compare_parser.add_argument("workload")
+
+    bench_parser = sub.add_parser("bench", help="reproduce a paper figure")
+    bench_parser.add_argument("experiment")
+
+    learn_parser = sub.add_parser("learn", help="run the learning pipeline")
+    learn_parser.add_argument("--save", metavar="PATH", default=None)
+
+    args = parser.parse_args(argv)
+    handlers = {"list": cmd_list, "run": cmd_run, "exec": cmd_exec,
+                "compare": cmd_compare, "bench": cmd_bench,
+                "learn": cmd_learn}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""Cost model for the performance metric.
+
+The paper measures wall-clock time on a real Xeon.  This reproduction's
+host is an interpreted x86 subset, so the performance metric is the
+*dynamic host instruction count*: every host instruction the generated
+code executes costs 1, and work performed inside C-level QEMU (helper
+bodies, the translation loop, device models) is charged a modelled
+instruction-equivalent cost.  The constants here are the entire model;
+every experiment harness reports counts derived from them.
+
+The values are calibrated to the figures the paper reports directly:
+~20 host instructions per softmmu memory access (Sec IV-B), ~14 host
+instructions per unoptimized coordination (Fig 8), and QEMU's ~17.39 host
+instructions per guest instruction (Fig 15).
+"""
+
+from __future__ import annotations
+
+# --- helper-function bodies (C code in real QEMU, Python here) -----------
+
+# Crossing from generated code into a helper and back: argument marshalling,
+# call/ret, register save/restore in the real ABI.
+HELPER_CALL_OVERHEAD = 12
+
+# Softmmu slow path: two-level short-descriptor page walk + TLB refill.
+COST_PAGE_WALK = 60
+
+# System-register moves (mcr/mrc/msr/mrs) emulated in a helper body.
+COST_SYSREG_HELPER = 12
+
+# One softfloat operation (unpack, align/normalize, round, repack) —
+# QEMU emulates every VFP instruction with one of these.
+COST_SOFTFLOAT = 60
+
+# Delivering an exception/interrupt: mode switch, banked registers, vector.
+COST_EXCEPTION_ENTRY = 60
+
+# cpu_exec outer loop: TB lookup in the hash table, chaining bookkeeping.
+COST_TB_LOOKUP = 40
+
+# Translating one guest instruction (amortized; both engines pay it once
+# per *static* instruction, so it washes out of steady-state comparisons
+# but is reported separately by the harness).
+COST_TRANSLATE_PER_INSN = 300
+
+# Parsing a packed FLAGS word into QEMU's four per-bit fields, performed
+# lazily by a helper when QEMU genuinely needs the bits (Sec III-B).
+COST_LAZY_FLAGS_PARSE = 14
+
+# --- device model costs (host-instruction equivalents) -------------------
+
+# MMIO access dispatched to a device model.
+COST_MMIO_ACCESS = 30
+
+# One block-device sector transfer: QEMU's IDE emulation plus host image
+# file I/O per 512-byte sector (2014-era testbed).  The I/O-bound
+# real-world workloads (fileIO, untar) spend most of their time here,
+# which is what caps their speedup near the paper's ~1.08x.
+COST_BLOCK_SECTOR_IO = 36000
+
+# One byte through the UART model.
+COST_UART_BYTE = 40
+
+# One network packet through the NIC model (memcached analog).
+COST_NET_PACKET = 9000

@@ -1,0 +1,81 @@
+"""Exception hierarchy for the whole reproduction stack."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class AssemblerError(ReproError):
+    """Raised for malformed guest assembly source."""
+
+    def __init__(self, message: str, line: int = 0, source: str = ""):
+        self.line = line
+        self.source = source
+        location = f" (line {line}: {source!r})" if line else ""
+        super().__init__(message + location)
+
+
+class EncodingError(ReproError):
+    """Raised when an instruction cannot be encoded to machine code."""
+
+
+class DecodingError(ReproError):
+    """Raised when a machine word does not decode to a known instruction."""
+
+    def __init__(self, word: int, address: int = 0):
+        self.word = word
+        self.address = address
+        super().__init__(f"cannot decode word 0x{word:08x} at 0x{address:08x}")
+
+
+class GuestFault(ReproError):
+    """Base class for synchronous guest CPU exceptions."""
+
+
+class UndefinedInstruction(GuestFault):
+    """Guest executed an instruction the CPU model does not implement."""
+
+
+class MemoryFault(GuestFault):
+    """A guest memory access failed address translation or permissions.
+
+    Carries the faulting virtual address and whether it was a write so the
+    guest kernel's abort handler (and the softmmu slow path) can act on it.
+    """
+
+    def __init__(self, vaddr: int, is_write: bool, reason: str = "translation"):
+        self.vaddr = vaddr
+        self.is_write = is_write
+        self.reason = reason
+        kind = "write" if is_write else "read"
+        super().__init__(f"{reason} fault on {kind} at 0x{vaddr:08x}")
+
+
+class BusError(ReproError):
+    """A physical access hit an unmapped region of the machine's memory map."""
+
+    def __init__(self, paddr: int):
+        self.paddr = paddr
+        super().__init__(f"bus error at physical address 0x{paddr:08x}")
+
+
+class HostExecutionError(ReproError):
+    """The host-code interpreter hit an invalid state (a codegen bug)."""
+
+
+class TranslationError(ReproError):
+    """The DBT failed to translate a guest basic block."""
+
+
+class RuleVerificationError(ReproError):
+    """Symbolic verification rejected a candidate translation rule."""
+
+
+class GuestHalt(ReproError):
+    """The guest OS requested shutdown (not an error; unwinds the run loop)."""
+
+    def __init__(self, exit_code: int = 0):
+        self.exit_code = exit_code
+        super().__init__(f"guest halted with exit code {exit_code}")

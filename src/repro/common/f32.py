@@ -1,0 +1,50 @@
+"""IEEE-754 binary32 arithmetic on bit patterns.
+
+All engines share these helpers, so floating-point results are
+bit-identical everywhere (Python computes in float64 and the
+pack-to-binary32 step applies the rounding).
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+
+def to_float(bits: int) -> float:
+    return struct.unpack("<f", struct.pack("<I", bits & 0xFFFFFFFF))[0]
+
+
+def from_float(value: float) -> int:
+    try:
+        packed = struct.pack("<f", value)
+    except OverflowError:
+        packed = struct.pack("<f", math.inf if value > 0 else -math.inf)
+    return struct.unpack("<I", packed)[0]
+
+
+def f32_add(a: int, b: int) -> int:
+    return from_float(to_float(a) + to_float(b))
+
+
+def f32_sub(a: int, b: int) -> int:
+    return from_float(to_float(a) - to_float(b))
+
+
+def f32_mul(a: int, b: int) -> int:
+    return from_float(to_float(a) * to_float(b))
+
+
+def f32_compare(a: int, b: int) -> int:
+    """ARM VCMP NZCV result (as the FPSCR[31:28] nibble).
+
+    less: 1000, equal: 0110, greater: 0010, unordered: 0011.
+    """
+    x, y = to_float(a), to_float(b)
+    if math.isnan(x) or math.isnan(y):
+        return 0b0011
+    if x < y:
+        return 0b1000
+    if x == y:
+        return 0b0110
+    return 0b0010

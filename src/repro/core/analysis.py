@@ -1,0 +1,297 @@
+"""Static per-TB analysis for the rule-based engine.
+
+Computes, over the guest instructions of one block:
+
+- which NZCV flags each instruction reads and writes,
+- backward flag liveness (flags are conservatively live out of the block),
+- which instructions are coordination sites (memory / system / uncovered),
+- the live-in flag requirement of a block (used by the inter-TB
+  optimization to prove define-before-use in a chained successor),
+- the define-before-use and interrupt-driven scheduling reorders
+  (Sec III-D), implemented as a safe reordering of the instruction list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Set
+
+from ..guest.isa import (ArmInsn, COMPARE_OPS, Cond, DATA_PROCESSING_OPS, Op,
+                         PC, ShiftKind)
+
+# Flag bit masks.
+F_N = 1
+F_Z = 2
+F_C = 4
+F_V = 8
+F_ALL = F_N | F_Z | F_C | F_V
+F_NONE = 0
+
+_COND_READS = {
+    Cond.EQ: F_Z, Cond.NE: F_Z,
+    Cond.CS: F_C, Cond.CC: F_C,
+    Cond.MI: F_N, Cond.PL: F_N,
+    Cond.VS: F_V, Cond.VC: F_V,
+    Cond.HI: F_C | F_Z, Cond.LS: F_C | F_Z,
+    Cond.GE: F_N | F_V, Cond.LT: F_N | F_V,
+    Cond.GT: F_N | F_Z | F_V, Cond.LE: F_N | F_Z | F_V,
+    Cond.AL: F_NONE,
+}
+
+_LOGICAL_DP = frozenset({Op.AND, Op.EOR, Op.TST, Op.TEQ, Op.ORR, Op.MOV,
+                         Op.BIC, Op.MVN})
+
+
+def flags_read(insn: ArmInsn) -> int:
+    """NZCV bits this instruction reads."""
+    mask = _COND_READS[insn.cond]
+    if insn.op in (Op.ADC, Op.SBC, Op.RSC):
+        mask |= F_C
+    if insn.op2 is not None and not insn.op2.is_imm and \
+            insn.op2.shift == ShiftKind.RRX:
+        mask |= F_C
+    if insn.op is Op.MRS and not insn.spsr:
+        mask |= F_ALL
+    return mask
+
+
+def flags_written(insn: ArmInsn) -> int:
+    """NZCV bits this instruction definitely writes (when it executes)."""
+    if insn.op in COMPARE_OPS:
+        if insn.op in (Op.CMP, Op.CMN):
+            return F_ALL
+        # TST/TEQ: N,Z always; C only via a shifted operand.
+        mask = F_N | F_Z
+        if _shifter_touches_carry(insn):
+            mask |= F_C
+        return mask
+    if insn.op in DATA_PROCESSING_OPS and insn.set_flags:
+        if insn.op in _LOGICAL_DP:
+            mask = F_N | F_Z
+            if _shifter_touches_carry(insn):
+                mask |= F_C
+            return mask
+        return F_ALL
+    if insn.op in (Op.MUL, Op.MLA) and insn.set_flags:
+        return F_N | F_Z
+    if insn.op is Op.MSR and not insn.spsr and insn.imm & 0x8:
+        return F_ALL
+    if insn.op is Op.VMRS and insn.rd == PC:
+        return F_ALL
+    return F_NONE
+
+
+def _shifter_touches_carry(insn: ArmInsn) -> bool:
+    op2 = insn.op2
+    if op2 is None:
+        return False
+    if op2.is_imm:
+        return op2.imm > 0xFF  # rotated immediates set C from bit 31
+    if op2.shift == ShiftKind.LSL and op2.shift_imm == 0 and op2.rs is None:
+        return False
+    return True
+
+
+def regs_read(insn: ArmInsn) -> Set[int]:
+    """Guest registers this instruction reads."""
+    regs: Set[int] = set()
+    op = insn.op
+    if op in DATA_PROCESSING_OPS:
+        if op not in (Op.MOV, Op.MVN):
+            regs.add(insn.rn)
+        if insn.op2 is not None and not insn.op2.is_imm:
+            regs.add(insn.op2.rm)
+            if insn.op2.rs is not None:
+                regs.add(insn.op2.rs)
+    elif op in (Op.MUL, Op.MLA):
+        regs.update({insn.rm, insn.rs})
+        if op is Op.MLA:
+            regs.add(insn.rn)
+    elif insn.is_memory():
+        regs.add(insn.rn)
+        if op in (Op.LDM, Op.STM):
+            if op is Op.STM:
+                regs.update(insn.reglist)
+        else:
+            if insn.mem_offset_reg is not None:
+                regs.add(insn.mem_offset_reg)
+            if insn.is_store() and op is not Op.VSTR:
+                regs.add(insn.rd)
+    elif op is Op.BX:
+        regs.add(insn.rm)
+    elif op in (Op.MSR, Op.VMSR):
+        regs.add(insn.rm if op is Op.MSR else insn.rd)
+    elif op is Op.MCR:
+        regs.add(insn.rd)
+    elif op is Op.CLZ:
+        regs.add(insn.rm)
+    elif op is Op.VMOVSR:
+        regs.add(insn.rd)
+    return regs
+
+
+def regs_written(insn: ArmInsn) -> Set[int]:
+    """Guest registers this instruction writes."""
+    regs: Set[int] = set()
+    op = insn.op
+    if op in DATA_PROCESSING_OPS and op not in COMPARE_OPS:
+        regs.add(insn.rd)
+    elif op in (Op.MUL, Op.MLA, Op.CLZ):
+        regs.add(insn.rd)
+    elif op in (Op.LDR, Op.LDRB, Op.LDRH, Op.LDRSB, Op.LDRSH):
+        regs.add(insn.rd)
+        if insn.writeback or not insn.pre_indexed:
+            regs.add(insn.rn)
+    elif op in (Op.STR, Op.STRB, Op.STRH):
+        if insn.writeback or not insn.pre_indexed:
+            regs.add(insn.rn)
+    elif op is Op.LDM:
+        regs.update(insn.reglist)
+        if insn.writeback:
+            regs.add(insn.rn)
+    elif op is Op.STM:
+        if insn.writeback:
+            regs.add(insn.rn)
+    elif op is Op.BL:
+        regs.add(14)
+    elif op in (Op.MRS, Op.MRC, Op.VMRS, Op.VMOVRS):
+        regs.add(insn.rd)
+    return regs
+
+
+@dataclass
+class InsnInfo:
+    """Analysis results for one guest instruction."""
+
+    insn: ArmInsn
+    reads: int = 0            # flag read mask
+    writes: int = 0           # flag write mask
+    live_after: int = F_ALL   # flags live after this instruction
+    is_site: bool = False     # coordination site (memory/system/uncovered)
+    covered: bool = True      # covered by the rulebook
+
+
+@dataclass
+class BlockInfo:
+    """Analysis results for one guest basic block."""
+
+    insns: List[InsnInfo] = field(default_factory=list)
+    #: flags that must be valid on entry (read before written, or not
+    #: definitely written): the inter-TB optimization skips the
+    #: predecessor's save only when a successor's live_in is empty.
+    live_in: int = F_ALL
+    #: static counts for the experiment harness
+    n_memory: int = 0
+    n_system: int = 0
+    n_uncovered: int = 0
+
+
+def analyze_block(insns: List[ArmInsn], rulebook=None) -> BlockInfo:
+    """Run the full static analysis over a guest block."""
+    info = BlockInfo()
+    for insn in insns:
+        item = InsnInfo(insn=insn, reads=flags_read(insn),
+                        writes=flags_written(insn))
+        # Control transfers are handled by the DBT's own control-flow
+        # machinery (TB terminators, chaining), not by learned rules.
+        item.covered = rulebook is None or insn.is_branch() or \
+            rulebook.covers(insn)
+        item.is_site = insn.is_memory() or insn.is_system() or \
+            insn.op is Op.SVC or not item.covered
+        if insn.is_memory():
+            info.n_memory += 1
+        if insn.is_system() or insn.op is Op.SVC:
+            info.n_system += 1
+        if not item.covered and not insn.is_system():
+            info.n_uncovered += 1
+        info.insns.append(item)
+
+    # Backward liveness; flags escape at block end and into helpers.
+    live = F_ALL
+    for item in reversed(info.insns):
+        item.live_after = live
+        if item.insn.is_system() or item.insn.op is Op.SVC or \
+                not item.covered:
+            # Helpers may architecturally read the CPSR.
+            live = F_ALL
+            continue
+        definite_write = item.writes if item.insn.cond == Cond.AL else 0
+        live = (live & ~definite_write) | item.reads
+
+    # Live-in requirement (for inter-TB define-before-use proofs):
+    # conservatively, a flag is NOT needed at entry iff the block
+    # unconditionally writes it before any read and before any
+    # helper-style site (which may read the CPSR architecturally).
+    needed = 0
+    defined = 0
+    for item in info.insns:
+        needed |= item.reads & ~defined
+        if item.insn.is_system() or item.insn.op is Op.SVC or \
+                not item.covered:
+            needed |= F_ALL & ~defined
+            break
+        if item.insn.cond == Cond.AL:
+            defined |= item.writes
+        if defined == F_ALL:
+            break
+    info.live_in = needed
+    return info
+
+
+# ---------------------------------------------------------------------------
+# Instruction scheduling (Sec III-D-1): hoist independent memory accesses
+# above a flag producer so that producer->consumer pairs become adjacent
+# and the memory access no longer splits a live flag range.
+# ---------------------------------------------------------------------------
+
+
+def _independent(mem: ArmInsn, producer: ArmInsn) -> bool:
+    """May *mem* be moved above *producer*?"""
+    if mem.cond != Cond.AL or producer.cond != Cond.AL:
+        return False
+    if flags_written(mem) or flags_read(mem):
+        return False
+    mem_reads, mem_writes = regs_read(mem), regs_written(mem)
+    prod_reads, prod_writes = regs_read(producer), regs_written(producer)
+    if mem_writes & (prod_reads | prod_writes):
+        return False
+    if mem_reads & prod_writes:
+        return False
+    return True
+
+
+def schedule_define_before_use(insns: List[ArmInsn]) -> List[ArmInsn]:
+    """Move ld/st instructions that sit between a flag producer and its
+    consumer to before the producer, when data dependences allow.
+
+    Stores may not move above other memory operations (aliasing); loads
+    may not move above stores.  PC-changing and system instructions are
+    barriers.
+    """
+    result = list(insns)
+    changed = True
+    while changed:
+        changed = False
+        for index in range(1, len(result)):
+            insn = result[index]
+            if not insn.is_memory() or insn.op in (Op.LDM, Op.STM):
+                continue
+            prev = result[index - 1]
+            if not flags_written(prev) or prev.writes_pc() or \
+                    prev.is_system():
+                continue
+            # Only useful if a consumer of prev's flags follows insn.
+            follows = result[index + 1:]
+            uses_later = any(flags_read(later) & flags_written(prev)
+                             for later in follows)
+            if not uses_later:
+                continue
+            if not _independent(insn, prev):
+                continue
+            # Memory ordering: moving a store above a non-memory flag
+            # producer is safe; moving above another memory op is not
+            # attempted (prev is a flag producer, never a memory op here,
+            # since memory ops do not write flags).
+            result[index - 1], result[index] = insn, prev
+            changed = True
+    return result

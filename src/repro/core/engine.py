@@ -1,0 +1,113 @@
+"""The rule-based execution engine (plugs into the Machine)."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..common.errors import DecodingError, MemoryFault
+from ..guest.isa import ArmInsn
+from ..ir.ops import IRBuilder
+from ..ir.opt import optimize
+from ..miniqemu.backend import TcgBackend
+from ..miniqemu.frontend import TcgFrontend
+from ..miniqemu.machine import DbtEngineBase, Machine
+from ..miniqemu.tb import TranslationBlock
+from .analysis import F_ALL, analyze_block
+from .config import OptConfig, OptLevel
+from .rulebook import MatureRulebook, StructuralFilter
+from .translator import RuleTranslator
+
+
+class RuleEngine(DbtEngineBase):
+    """Rule-based system-level DBT (the paper's prototype)."""
+
+    name = "rules"
+
+    def __init__(self, machine: Machine, level: OptLevel = OptLevel.FULL,
+                 rulebook=None, config: Optional[OptConfig] = None):
+        super().__init__(machine)
+        self.level = level
+        self.config = config if config is not None \
+            else OptConfig.from_level(level)
+        self.rulebook = StructuralFilter(rulebook or MatureRulebook())
+        self._live_in_cache: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Successor analysis for the inter-TB optimization.
+    # ------------------------------------------------------------------
+
+    def successor_live_in(self, pc: int) -> int:
+        cached = self._live_in_cache.get(pc)
+        if cached is not None:
+            return cached
+        try:
+            insns = self.fetch_block(pc)
+        except (DecodingError, MemoryFault):
+            # Unfetchable or undecodable successor: assume it needs
+            # everything (no inter-TB elision).
+            live_in = F_ALL
+        else:
+            live_in = analyze_block(insns, self.rulebook).live_in
+        self._live_in_cache[pc] = live_in
+        return live_in
+
+    # ------------------------------------------------------------------
+    # Inline QEMU fallback for uncovered instructions.
+    # ------------------------------------------------------------------
+
+    def tcg_fallback(self, insn: ArmInsn, mmu_idx: int):
+        """Translate one instruction through the TCG pipeline."""
+        frontend = TcgFrontend(mmu_idx)
+        frontend.builder = IRBuilder()
+        frontend.builder.current_pc = insn.addr
+        frontend.jmp_pcs = [None, None]
+        frontend._ended = False
+        frontend._body(insn)
+        ir_insns = optimize(frontend.builder.insns)
+        code = TcgBackend(mmu_idx).lower(ir_insns, tag="fallback")
+        return code, frontend._ended
+
+    # ------------------------------------------------------------------
+    # Translation.
+    # ------------------------------------------------------------------
+
+    def translate(self, pc: int, mmu_idx: int) -> TranslationBlock:
+        insns = self.fetch_block(pc)
+        translator = RuleTranslator(
+            mmu_idx, self.config, rulebook=self.rulebook,
+            successor_live_in=self.successor_live_in,
+            tcg_fallback=self.tcg_fallback)
+        return translator.translate(pc, insns)
+
+    # ------------------------------------------------------------------
+    # Statistics (coordination accounting for Figs 8/16/17 + Table I).
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, float]:
+        base = super().stats()
+        sync_ops = 0
+        sync_insns = 0
+        for tb in self.cache.all_tbs():
+            meta = tb.meta
+            weight = tb.exec_count
+            sync_ops += weight * (meta.get("sync_saves", 0) +
+                                  meta.get("sync_restores", 0))
+            sync_insns += weight * meta.get("sync_insns", 0)
+        base.update({
+            "sync_ops_dyn": float(sync_ops),
+            "sync_insns_weighted": float(sync_insns),
+            "flag_parses": float(self.machine.runtime.flag_parse_count),
+            "opt_level": float(self.level),
+        })
+        return base
+
+
+def make_rule_engine(level: OptLevel = OptLevel.FULL, rulebook=None,
+                     config: Optional[OptConfig] = None):
+    """Factory for ``Machine(engine="rules", rule_engine_factory=...)``."""
+
+    def factory(machine: Machine) -> RuleEngine:
+        return RuleEngine(machine, level=level, rulebook=rulebook,
+                          config=config)
+
+    return factory

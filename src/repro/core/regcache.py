@@ -1,0 +1,111 @@
+"""Guest-register cache for rule-translated code.
+
+The rule-based approach keeps guest CPU state in host registers: within a
+TB, guest registers are loaded into host registers on first use and kept
+there (dirty copies are flushed to ``env`` at coordination sites and at
+the block end).  EAX and EDX stay reserved as scratch for the softmmu
+sequences and the flag parses, mirroring the TCG backend's convention.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from ..host.builder import CodeBuilder
+from ..host.isa import EBX, ECX, EDI, ENV_REG, ESI, Mem, Reg
+from ..miniqemu.env import env_reg
+
+#: Host registers available for caching guest registers.
+CACHE_REGS = (EBX, ESI, EDI, ECX)
+
+
+class RegCache:
+    """Maps guest registers to host registers during one TB's emission."""
+
+    def __init__(self, builder: CodeBuilder):
+        self.builder = builder
+        self.guest_to_host: Dict[int, int] = {}
+        self.host_to_guest: Dict[int, int] = {}
+        self.dirty: Set[int] = set()        # guest regs with unflushed copies
+        self.use_clock = 0
+        self.last_touch: Dict[int, int] = {}
+
+    # -- internals -----------------------------------------------------------
+
+    def _touch(self, guest: int) -> None:
+        self.use_clock += 1
+        self.last_touch[guest] = self.use_clock
+
+    def _evict(self, host: int) -> None:
+        guest = self.host_to_guest.pop(host, None)
+        if guest is None:
+            return
+        if guest in self.dirty:
+            self.builder.mov(Mem(base=ENV_REG, disp=env_reg(guest)),
+                             Reg(host))
+            self.dirty.discard(guest)
+        del self.guest_to_host[guest]
+
+    def _pick_host(self, forbidden: Set[int]) -> int:
+        for host in CACHE_REGS:
+            if host not in forbidden and host not in self.host_to_guest:
+                return host
+        victims = [host for host in CACHE_REGS if host not in forbidden]
+        if not victims:
+            raise RuntimeError("register cache exhausted")
+        victim = min(victims,
+                     key=lambda host: self.last_touch.get(
+                         self.host_to_guest[host], 0))
+        self._evict(victim)
+        return victim
+
+    # -- public API ------------------------------------------------------------
+
+    def read(self, guest: int, forbidden: Set[int] = frozenset()) -> int:
+        """Host register holding guest reg *guest*, loading it if needed."""
+        host = self.guest_to_host.get(guest)
+        if host is not None:
+            self._touch(guest)
+            return host
+        host = self._pick_host(set(forbidden))
+        self.builder.mov(Reg(host), Mem(base=ENV_REG, disp=env_reg(guest)))
+        self.guest_to_host[guest] = host
+        self.host_to_guest[host] = guest
+        self._touch(guest)
+        return host
+
+    def write(self, guest: int, forbidden: Set[int] = frozenset()) -> int:
+        """Host register to hold a new value of *guest* (marked dirty)."""
+        host = self.guest_to_host.get(guest)
+        if host is None:
+            host = self._pick_host(set(forbidden))
+            self.guest_to_host[guest] = host
+            self.host_to_guest[host] = guest
+        self.dirty.add(guest)
+        self._touch(guest)
+        return host
+
+    def scratch(self, forbidden: Set[int] = frozenset()) -> int:
+        """A cache register temporarily free for intermediate values."""
+        return self._pick_host(set(forbidden))
+
+    def flush_dirty(self, tag: Optional[str] = None) -> int:
+        """Store every dirty guest register back to env; returns the count."""
+        count = 0
+        for guest in sorted(self.dirty):
+            host = self.guest_to_host[guest]
+            if tag is None:
+                self.builder.mov(Mem(base=ENV_REG, disp=env_reg(guest)),
+                                 Reg(host))
+            else:
+                self.builder.mov(Mem(base=ENV_REG, disp=env_reg(guest)),
+                                 Reg(host), tag=tag)
+            count += 1
+        self.dirty.clear()
+        return count
+
+    def invalidate(self) -> None:
+        """Drop all cached copies (after a helper that may write guest regs)."""
+        self.guest_to_host.clear()
+        self.host_to_guest.clear()
+        self.dirty.clear()

@@ -1,0 +1,60 @@
+"""A minimal interrupt controller (PL190-flavoured).
+
+Devices raise/lower numbered interrupt sources; the controller drives the
+CPU's IRQ line whenever an enabled source is pending.
+
+MMIO register map (word access):
+  +0x00 STATUS   (RO)  pending & enabled
+  +0x04 RAWSTAT  (RO)  pending
+  +0x08 ENABLE   (RW)  write 1-bits to enable sources
+  +0x0C DISABLE  (WO)  write 1-bits to disable sources
+"""
+
+from __future__ import annotations
+
+from ..common.bitops import u32
+
+IRQ_TIMER = 0
+IRQ_UART = 1
+IRQ_BLOCK = 2
+IRQ_NET = 3
+
+
+class InterruptController:
+    def __init__(self, cpu):
+        self.cpu = cpu
+        self.pending = 0
+        self.enabled = 0
+
+    # -- device-facing API ------------------------------------------------------
+
+    def raise_irq(self, source: int) -> None:
+        self.pending |= 1 << source
+        self._update()
+
+    def lower_irq(self, source: int) -> None:
+        self.pending &= ~(1 << source) & 0xFFFFFFFF
+        self._update()
+
+    def _update(self) -> None:
+        self.cpu.irq_line = bool(self.pending & self.enabled)
+        if self.cpu.irq_line:
+            self.cpu.halted = False
+
+    # -- MMIO --------------------------------------------------------------------
+
+    def mmio_read(self, offset: int, size: int) -> int:
+        if offset == 0x00:
+            return u32(self.pending & self.enabled)
+        if offset == 0x04:
+            return u32(self.pending)
+        if offset == 0x08:
+            return u32(self.enabled)
+        return 0
+
+    def mmio_write(self, offset: int, size: int, value: int) -> None:
+        if offset == 0x08:
+            self.enabled |= value
+        elif offset == 0x0C:
+            self.enabled &= ~value & 0xFFFFFFFF
+        self._update()

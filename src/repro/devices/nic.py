@@ -1,0 +1,65 @@
+"""A toy NIC with a scripted peer (the memcached workload's network).
+
+The harness queues request packets; the guest polls RX, processes, and
+writes TX responses, which the harness collects.  Packets are length-
+prefixed byte strings moved through a small MMIO window, and each packet
+is charged the modelled network cost (this is what makes the memcached
+analog network-bound, capping its speedup like the paper's 1.13x).
+
+MMIO register map:
+  +0x00 RXLEN  (RO)  length of the current RX packet, 0 if none
+  +0x04 RXDATA (RO)  next RX byte (auto-advances)
+  +0x08 RXDONE (WO)  pop the current RX packet, raise next if queued
+  +0x0C TXDATA (WO)  append a byte to the TX buffer
+  +0x10 TXSEND (WO)  commit the TX buffer as one packet
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..common.costmodel import COST_NET_PACKET
+from .intc import IRQ_NET
+
+
+class Nic:
+    def __init__(self, intc, machine=None):
+        self.intc = intc
+        self.machine = machine
+        self.rx_queue = deque()
+        self.rx_pos = 0
+        self.tx_buffer = bytearray()
+        self.tx_packets = []
+
+    def queue_rx(self, packet: bytes) -> None:
+        self.rx_queue.append(bytes(packet))
+        self.intc.raise_irq(IRQ_NET)
+
+    def mmio_read(self, offset: int, size: int) -> int:
+        if offset == 0x00:
+            return len(self.rx_queue[0]) if self.rx_queue else 0
+        if offset == 0x04:
+            if not self.rx_queue:
+                return 0
+            packet = self.rx_queue[0]
+            byte = packet[self.rx_pos] if self.rx_pos < len(packet) else 0
+            self.rx_pos += 1
+            return byte
+        return 0
+
+    def mmio_write(self, offset: int, size: int, value: int) -> None:
+        if offset == 0x08:
+            if self.rx_queue:
+                self.rx_queue.popleft()
+                if self.machine is not None:
+                    self.machine.charge_io(COST_NET_PACKET)
+            self.rx_pos = 0
+            if not self.rx_queue:
+                self.intc.lower_irq(IRQ_NET)
+        elif offset == 0x0C:
+            self.tx_buffer.append(value & 0xFF)
+        elif offset == 0x10:
+            self.tx_packets.append(bytes(self.tx_buffer))
+            self.tx_buffer.clear()
+            if self.machine is not None:
+                self.machine.charge_io(COST_NET_PACKET)

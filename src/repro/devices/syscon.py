@@ -1,0 +1,18 @@
+"""System controller: guest-initiated shutdown.
+
+MMIO register map:
+  +0x00 EXIT (WO)  halt the machine with the written exit code
+"""
+
+from __future__ import annotations
+
+from ..common.errors import GuestHalt
+
+
+class SystemController:
+    def mmio_read(self, offset: int, size: int) -> int:
+        return 0
+
+    def mmio_write(self, offset: int, size: int, value: int) -> None:
+        if offset == 0x00:
+            raise GuestHalt(value)

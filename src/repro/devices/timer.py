@@ -1,0 +1,57 @@
+"""An icount-driven periodic timer.
+
+Guest time advances with the number of executed guest instructions (the
+machine calls :meth:`advance` from its execution loop), which keeps every
+experiment fully deterministic.  When the down-counter reaches zero the
+timer raises its interrupt and reloads.
+
+MMIO register map (word access):
+  +0x00 LOAD    (RW)  reload value in guest instructions; 0 disables
+  +0x04 VALUE   (RO)  current countdown
+  +0x08 CTRL    (RW)  bit0 = enable
+  +0x0C ACK     (WO)  any write clears the pending interrupt
+  +0x10 TICKS   (RO)  total expirations since reset
+"""
+
+from __future__ import annotations
+
+from .intc import IRQ_TIMER
+
+
+class Timer:
+    def __init__(self, intc, reload: int = 0):
+        self.intc = intc
+        self.reload = reload
+        self.value = reload
+        self.enabled = False
+        self.ticks = 0
+
+    def advance(self, instructions: int) -> None:
+        """Advance guest time by *instructions* executed instructions."""
+        if not self.enabled or self.reload == 0:
+            return
+        self.value -= instructions
+        while self.value <= 0:
+            self.value += self.reload
+            self.ticks += 1
+            self.intc.raise_irq(IRQ_TIMER)
+
+    def mmio_read(self, offset: int, size: int) -> int:
+        if offset == 0x00:
+            return self.reload
+        if offset == 0x04:
+            return max(self.value, 0)
+        if offset == 0x08:
+            return int(self.enabled)
+        if offset == 0x10:
+            return self.ticks
+        return 0
+
+    def mmio_write(self, offset: int, size: int, value: int) -> None:
+        if offset == 0x00:
+            self.reload = value
+            self.value = value
+        elif offset == 0x08:
+            self.enabled = bool(value & 1)
+        elif offset == 0x0C:
+            self.intc.lower_irq(IRQ_TIMER)

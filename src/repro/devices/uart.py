@@ -1,0 +1,40 @@
+"""A console UART: guest writes bytes, the harness reads the transcript.
+
+MMIO register map:
+  +0x00 DR     (RW)  write: transmit byte; read: next input byte or 0
+  +0x04 FR     (RO)  bit0 = input available
+"""
+
+from __future__ import annotations
+
+from ..common.costmodel import COST_UART_BYTE
+
+
+class Uart:
+    def __init__(self, machine=None):
+        self.machine = machine
+        self.output = bytearray()
+        self.input = bytearray()
+
+    @property
+    def text(self) -> str:
+        return self.output.decode("latin-1")
+
+    def feed(self, data: bytes) -> None:
+        """Queue bytes for the guest to read (test/workload input)."""
+        self.input.extend(data)
+
+    def mmio_read(self, offset: int, size: int) -> int:
+        if offset == 0x00:
+            if self.input:
+                return self.input.pop(0)
+            return 0
+        if offset == 0x04:
+            return 1 if self.input else 0
+        return 0
+
+    def mmio_write(self, offset: int, size: int, value: int) -> None:
+        if offset == 0x00:
+            self.output.append(value & 0xFF)
+            if self.machine is not None:
+                self.machine.charge_io(COST_UART_BYTE)

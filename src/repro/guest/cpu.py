@@ -1,0 +1,204 @@
+"""Architectural guest CPU state: registers, CPSR banking, cp15, exceptions.
+
+This is the *architectural* state shared by every execution engine (the
+reference interpreter, the TCG baseline and the rule-based DBT).  The DBT
+engines additionally mirror parts of it into the in-memory ``env``
+structure (:mod:`repro.miniqemu.env`); :meth:`GuestCpu.snapshot` is the
+canonical comparison point for differential tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..common.bitops import bit, u32
+from .isa import LR, PC, SP
+
+# Processor modes (CPSR[4:0]).
+MODE_USR = 0x10
+MODE_FIQ = 0x11
+MODE_IRQ = 0x12
+MODE_SVC = 0x13
+MODE_ABT = 0x17
+MODE_UND = 0x1B
+MODE_SYS = 0x1F
+
+ALL_MODES = (MODE_USR, MODE_FIQ, MODE_IRQ, MODE_SVC, MODE_ABT, MODE_UND,
+             MODE_SYS)
+
+MODE_NAMES = {MODE_USR: "usr", MODE_FIQ: "fiq", MODE_IRQ: "irq",
+              MODE_SVC: "svc", MODE_ABT: "abt", MODE_UND: "und",
+              MODE_SYS: "sys"}
+
+# CPSR bit positions.
+CPSR_N = 31
+CPSR_Z = 30
+CPSR_C = 29
+CPSR_V = 28
+CPSR_I = 7  # IRQ mask (1 = masked)
+
+# Exception vector offsets.
+VECTOR_RESET = 0x00
+VECTOR_UNDEF = 0x04
+VECTOR_SVC = 0x08
+VECTOR_PREFETCH_ABORT = 0x0C
+VECTOR_DATA_ABORT = 0x10
+VECTOR_IRQ = 0x18
+
+
+def _bank_key(mode: int) -> int:
+    """USR and SYS share one register bank; everyone else has their own."""
+    return MODE_USR if mode == MODE_SYS else mode
+
+
+@dataclass
+class Cp15:
+    """The cp15 system-control coprocessor subset the mini-kernel uses."""
+
+    sctlr: int = 0      # c1,c0,0 — bit 0 is the MMU enable
+    ttbr0: int = 0      # c2,c0,0 — translation table base
+    dacr: int = 0       # c3,c0,0 — domain access control (stored, unused)
+    dfsr: int = 0       # c5,c0,0 — data fault status
+    dfar: int = 0       # c6,c0,0 — data fault address
+    vbar: int = 0       # c12,c0,0 — vector base address
+    context_id: int = 0  # c13,c0,1
+
+    _BY_KEY = {
+        (1, 0, 0, 0): "sctlr",
+        (2, 0, 0, 0): "ttbr0",
+        (3, 0, 0, 0): "dacr",
+        (5, 0, 0, 0): "dfsr",
+        (6, 0, 0, 0): "dfar",
+        (12, 0, 0, 0): "vbar",
+        (13, 0, 0, 1): "context_id",
+    }
+
+    #: keys whose writes require a TLB flush (TLBIALL is write-only).
+    TLB_FLUSH_KEY = (8, 7, 0, 0)
+
+    def read(self, crn: int, crm: int, op1: int, op2: int) -> int:
+        name = self._BY_KEY.get((crn, crm, op1, op2))
+        if name is None:
+            return 0
+        return getattr(self, name)
+
+    def write(self, crn: int, crm: int, op1: int, op2: int,
+              value: int) -> bool:
+        """Write a cp15 register; returns True if the TLB must be flushed."""
+        key = (crn, crm, op1, op2)
+        if key == self.TLB_FLUSH_KEY:
+            return True
+        name = self._BY_KEY.get(key)
+        if name is not None:
+            setattr(self, name, u32(value))
+            # Changing translation controls invalidates cached translations.
+            return name in ("sctlr", "ttbr0")
+        return False
+
+    @property
+    def mmu_enabled(self) -> bool:
+        return bool(self.sctlr & 1)
+
+
+class GuestCpu:
+    """ARMv7 architectural register state with mode banking."""
+
+    def __init__(self):
+        self.regs = [0] * 16
+        self.cpsr = MODE_SVC | (1 << CPSR_I)  # boots in SVC, IRQs masked
+        self._banked_sp_lr: Dict[int, Tuple[int, int]] = {
+            _bank_key(mode): (0, 0) for mode in ALL_MODES}
+        self._spsr: Dict[int, int] = {mode: 0 for mode in ALL_MODES}
+        self.cp15 = Cp15()
+        self.fpscr = 0
+        self.vfp = [0] * 32  # s0..s31 as binary32 bit patterns
+        self.irq_line = False     # level-triggered external IRQ input
+        self.halted = False       # set by wfi until an interrupt arrives
+
+    # -- mode and banking ---------------------------------------------------
+
+    @property
+    def mode(self) -> int:
+        return self.cpsr & 0x1F
+
+    def flag(self, position: int) -> int:
+        return bit(self.cpsr, position)
+
+    def set_flag(self, position: int, value: int) -> None:
+        if value:
+            self.cpsr |= 1 << position
+        else:
+            self.cpsr &= ~(1 << position) & 0xFFFFFFFF
+
+    def set_nzcv(self, n: int, z: int, c: int, v: int) -> None:
+        self.cpsr = (self.cpsr & 0x0FFFFFFF) | (n << 31) | (z << 30) | \
+            (c << 29) | (v << 28)
+
+    @property
+    def irqs_enabled(self) -> bool:
+        return not self.flag(CPSR_I)
+
+    def switch_mode(self, new_mode: int) -> None:
+        old_key = _bank_key(self.mode)
+        new_key = _bank_key(new_mode)
+        if old_key != new_key:
+            self._banked_sp_lr[old_key] = (self.regs[SP], self.regs[LR])
+            self.regs[SP], self.regs[LR] = self._banked_sp_lr[new_key]
+        self.cpsr = (self.cpsr & ~0x1F & 0xFFFFFFFF) | new_mode
+
+    def write_cpsr(self, value: int) -> None:
+        """Full CPSR write (msr cpsr_cxsf / exception return)."""
+        new_mode = value & 0x1F
+        if new_mode != self.mode:
+            self.switch_mode(new_mode)
+        self.cpsr = u32(value)
+
+    @property
+    def spsr(self) -> int:
+        return self._spsr[self.mode if self.mode != MODE_USR else MODE_SVC]
+
+    @spsr.setter
+    def spsr(self, value: int) -> None:
+        mode = self.mode if self.mode != MODE_USR else MODE_SVC
+        self._spsr[mode] = u32(value)
+
+    # -- exceptions ----------------------------------------------------------
+
+    def take_exception(self, new_mode: int, vector_offset: int,
+                       return_address: int) -> None:
+        """Architectural exception entry (ARMv7 ARM B1.8.x, simplified)."""
+        saved_cpsr = self.cpsr
+        self.switch_mode(new_mode)
+        self._spsr[new_mode] = saved_cpsr
+        self.regs[LR] = u32(return_address)
+        self.set_flag(CPSR_I, 1)
+        self.regs[PC] = u32(self.cp15.vbar + vector_offset)
+        self.halted = False
+
+    def exception_return(self, target_pc: int) -> None:
+        """``movs pc, ...`` / ``subs pc, lr, #n`` — restore CPSR from SPSR."""
+        spsr = self.spsr
+        self.write_cpsr(spsr)
+        self.regs[PC] = u32(target_pc)
+
+    # -- debugging / differential testing ------------------------------------
+
+    def snapshot(self) -> dict:
+        """Architecturally-visible state for differential comparison."""
+        return {
+            "regs": tuple(self.regs),
+            "cpsr": self.cpsr,
+            "spsr": dict(self._spsr),
+            "banked": dict(self._banked_sp_lr),
+            "sctlr": self.cp15.sctlr,
+            "ttbr0": self.cp15.ttbr0,
+            "vbar": self.cp15.vbar,
+            "fpscr": self.fpscr,
+            "vfp": tuple(self.vfp),
+        }
+
+    def __repr__(self) -> str:
+        regs = " ".join(f"r{i}={self.regs[i]:08x}" for i in range(16))
+        return (f"<GuestCpu {MODE_NAMES.get(self.mode, '?')} "
+                f"cpsr={self.cpsr:08x} {regs}>")

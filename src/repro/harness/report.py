@@ -1,0 +1,44 @@
+"""Text rendering for experiment tables (paper-style rows + geomeans)."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence
+
+
+def geomean(values: Iterable[float]) -> float:
+    values = [value for value in values if value > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(value) for value in values) / len(values))
+
+
+def format_table(headers: Sequence[str], rows: List[Sequence],
+                 title: str = "") -> str:
+    """Render an aligned plain-text table."""
+    text_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [max(len(header), *(len(row[index]) for row in text_rows))
+              if text_rows else len(header)
+              for index, header in enumerate(headers)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header.ljust(width)
+                           for header, width in zip(headers, widths)))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in text_rows:
+        lines.append("  ".join(cell.ljust(width)
+                               for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def percent(numerator: float, denominator: float) -> float:
+    if denominator == 0:
+        return 0.0
+    return 100.0 * numerator / denominator

@@ -1,0 +1,182 @@
+"""Host-code builder: emit X86Insn sequences with labels, then resolve.
+
+Both code generators (the TCG backend and the rule-based translator) build
+TB bodies through this class.  ``tag`` arguments attribute instructions to
+the paper's accounting categories; the default tag of the builder can be
+temporarily overridden with :meth:`tagged`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import itertools
+from typing import Callable, Dict, List
+
+from ..common.errors import TranslationError
+from .isa import (Imm, Mem, X86Cond, X86Insn, X86Op)
+
+_label_counter = itertools.count()
+
+
+class CodeBuilder:
+    """Accumulates host instructions and resolves intra-block labels."""
+
+    def __init__(self, default_tag: str = "code"):
+        self.insns: List[X86Insn] = []
+        self._labels: Dict[str, int] = {}
+        self._tag = default_tag
+
+    # -- tagging -------------------------------------------------------------
+
+    @contextlib.contextmanager
+    def tagged(self, tag: str):
+        """Attribute instructions emitted inside the block to *tag*."""
+        previous, self._tag = self._tag, tag
+        try:
+            yield self
+        finally:
+            self._tag = previous
+
+    # -- label handling --------------------------------------------------------
+
+    def new_label(self, stem: str = "L") -> str:
+        return f"{stem}_{next(_label_counter)}"
+
+    def bind(self, label: str) -> None:
+        if label in self._labels:
+            raise TranslationError(f"label {label} bound twice")
+        self._labels[label] = len(self.insns)
+
+    def finish(self) -> List[X86Insn]:
+        """Resolve jump targets; returns the finished instruction list."""
+        for insn in self.insns:
+            if insn.op in (X86Op.JMP, X86Op.JCC) and insn.target_index < 0:
+                # Pre-resolved jumps (spliced from another builder, e.g.
+                # the rule engine's inline QEMU fallback) are left alone.
+                if insn.label not in self._labels:
+                    raise TranslationError(f"undefined label {insn.label}")
+                insn.target_index = self._labels[insn.label]
+        return self.insns
+
+    # -- raw emit ---------------------------------------------------------------
+
+    def emit(self, op: X86Op, dst=None, src=None, *, cond=None, label=None,
+             helper=None, helper_args=(), imm=0, tag=None) -> X86Insn:
+        insn = X86Insn(op=op, dst=dst, src=src, cond=cond, label=label,
+                       helper=helper, helper_args=tuple(helper_args),
+                       imm=imm, tag=tag or self._tag)
+        self.insns.append(insn)
+        return insn
+
+    # -- convenience emitters (one host instruction each) -------------------------
+
+    def mov(self, dst, src, **kw):
+        self.emit(X86Op.MOV, dst, src, **kw)
+
+    def movi(self, dst, value: int, **kw):
+        self.emit(X86Op.MOV, dst, Imm(value), **kw)
+
+    def movzx(self, dst, src, **kw):
+        self.emit(X86Op.MOVZX, dst, src, **kw)
+
+    def movsx(self, dst, src, **kw):
+        self.emit(X86Op.MOVSX, dst, src, **kw)
+
+    def lea(self, dst, mem: Mem, **kw):
+        self.emit(X86Op.LEA, dst, mem, **kw)
+
+    def add(self, dst, src, **kw):
+        self.emit(X86Op.ADD, dst, src, **kw)
+
+    def adc(self, dst, src, **kw):
+        self.emit(X86Op.ADC, dst, src, **kw)
+
+    def sub(self, dst, src, **kw):
+        self.emit(X86Op.SUB, dst, src, **kw)
+
+    def sbb(self, dst, src, **kw):
+        self.emit(X86Op.SBB, dst, src, **kw)
+
+    def and_(self, dst, src, **kw):
+        self.emit(X86Op.AND, dst, src, **kw)
+
+    def or_(self, dst, src, **kw):
+        self.emit(X86Op.OR, dst, src, **kw)
+
+    def xor(self, dst, src, **kw):
+        self.emit(X86Op.XOR, dst, src, **kw)
+
+    def cmp(self, dst, src, **kw):
+        self.emit(X86Op.CMP, dst, src, **kw)
+
+    def test(self, dst, src, **kw):
+        self.emit(X86Op.TEST, dst, src, **kw)
+
+    def neg(self, dst, **kw):
+        self.emit(X86Op.NEG, dst, **kw)
+
+    def not_(self, dst, **kw):
+        self.emit(X86Op.NOT, dst, **kw)
+
+    def imul(self, dst, src, **kw):
+        self.emit(X86Op.IMUL, dst, src, **kw)
+
+    def shl(self, dst, src, **kw):
+        self.emit(X86Op.SHL, dst, src, **kw)
+
+    def shr(self, dst, src, **kw):
+        self.emit(X86Op.SHR, dst, src, **kw)
+
+    def sar(self, dst, src, **kw):
+        self.emit(X86Op.SAR, dst, src, **kw)
+
+    def ror(self, dst, src, **kw):
+        self.emit(X86Op.ROR, dst, src, **kw)
+
+    def rcr1(self, dst, **kw):
+        self.emit(X86Op.RCR, dst, Imm(1), **kw)
+
+    def bsr(self, dst, src, **kw):
+        self.emit(X86Op.BSR, dst, src, **kw)
+
+    def push(self, src, **kw):
+        self.emit(X86Op.PUSH, src=src, **kw)
+
+    def pop(self, dst, **kw):
+        self.emit(X86Op.POP, dst, **kw)
+
+    def pushfd(self, **kw):
+        self.emit(X86Op.PUSHFD, **kw)
+
+    def popfd(self, **kw):
+        self.emit(X86Op.POPFD, **kw)
+
+    def lahf(self, **kw):
+        self.emit(X86Op.LAHF, **kw)
+
+    def sahf(self, **kw):
+        self.emit(X86Op.SAHF, **kw)
+
+    def setcc(self, cond: X86Cond, dst, **kw):
+        self.emit(X86Op.SETCC, dst, cond=cond, **kw)
+
+    def cmc(self, **kw):
+        self.emit(X86Op.CMC, **kw)
+
+    def jmp(self, label: str, **kw):
+        self.emit(X86Op.JMP, label=label, **kw)
+
+    def jcc(self, cond: X86Cond, label: str, **kw):
+        self.emit(X86Op.JCC, cond=cond, label=label, **kw)
+
+    def call_helper(self, helper: Callable, args=(), **kw):
+        self.emit(X86Op.CALL_HELPER, helper=helper, helper_args=args, **kw)
+
+    def exit_tb(self, status: int, **kw):
+        self.emit(X86Op.EXIT_TB, imm=status, **kw)
+
+    def goto_tb(self, slot: int, **kw):
+        self.emit(X86Op.GOTO_TB, imm=slot, **kw)
+
+    def nop(self, **kw):
+        self.emit(X86Op.NOPSLOT, **kw)

@@ -1,0 +1,191 @@
+"""x86-32 host instruction model.
+
+Generated host code is a list of :class:`X86Insn` objects executed by the
+host interpreter (:mod:`repro.host.interp`).  The paper's performance
+metric in this reproduction is the *dynamic count* of these instructions,
+so each one corresponds to exactly one real x86 instruction; pseudo-ops
+that stand in for QEMU's C runtime (helper calls, TB exits) are documented
+as such and costed by :mod:`repro.common.costmodel`.
+
+Every instruction carries a ``tag`` identifying why it was emitted
+(translated guest code, CPU-state sync, softmmu fast path, interrupt
+check, ...), which is how the harness attributes dynamic instruction
+counts to the paper's categories (Figs 8, 15, 17).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple, Union
+
+# Host general-purpose registers.
+EAX, ECX, EDX, EBX, ESP, EBP, ESI, EDI = range(8)
+
+REG_NAMES = ["eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi"]
+
+#: Register conventionally holding the env pointer in generated code
+#: (QEMU's TCG x86 backend reserves EBP for this too).
+ENV_REG = EBP
+
+# EFLAGS bit positions (the architectural ones).
+FLAG_CF = 0
+FLAG_ZF = 6
+FLAG_SF = 7
+FLAG_OF = 11
+
+
+class X86Op(enum.Enum):
+    MOV = "mov"
+    MOVZX = "movzx"
+    MOVSX = "movsx"
+    LEA = "lea"
+    ADD = "add"
+    ADC = "adc"
+    SUB = "sub"
+    SBB = "sbb"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    CMP = "cmp"
+    TEST = "test"
+    NEG = "neg"
+    NOT = "not"
+    INC = "inc"
+    DEC = "dec"
+    IMUL = "imul"
+    SHL = "shl"
+    SHR = "shr"
+    SAR = "sar"
+    ROR = "ror"
+    ROL = "rol"
+    RCR = "rcr"
+    BSR = "bsr"
+    PUSH = "push"
+    POP = "pop"
+    PUSHFD = "pushfd"
+    POPFD = "popfd"
+    LAHF = "lahf"
+    SAHF = "sahf"
+    SETCC = "setcc"
+    CMC = "cmc"
+    STC = "stc"
+    CLC = "clc"
+    JMP = "jmp"
+    JCC = "jcc"
+    CALL_HELPER = "call"   # call into the QEMU runtime (a Python callable)
+    EXIT_TB = "exit_tb"    # return to the cpu_exec loop with a status value
+    GOTO_TB = "goto_tb"    # direct block chaining slot (patched jmp)
+    NOPSLOT = "nop"
+
+    # SSE scalar single-precision (the VFP rule templates).
+    MOVSS = "movss"
+    ADDSS = "addss"
+    SUBSS = "subss"
+    MULSS = "mulss"
+
+
+class X86Cond(enum.Enum):
+    """Host condition codes for jcc/setcc."""
+
+    E = "e"      # ZF
+    NE = "ne"
+    B = "b"      # CF  (unsigned <)
+    AE = "ae"    # !CF
+    BE = "be"    # CF or ZF
+    A = "a"      # !CF and !ZF
+    S = "s"      # SF
+    NS = "ns"
+    O = "o"      # OF
+    NO = "no"
+    L = "l"      # SF != OF (signed <)
+    GE = "ge"
+    LE = "le"
+    G = "g"
+
+
+@dataclass(frozen=True)
+class Mem:
+    """A memory operand: [base + index*scale + disp]."""
+
+    base: Optional[int] = None
+    disp: int = 0
+    index: Optional[int] = None
+    scale: int = 1
+    size: int = 4
+
+    def __str__(self) -> str:
+        parts = []
+        if self.base is not None:
+            parts.append(REG_NAMES[self.base])
+        if self.index is not None:
+            parts.append(f"{REG_NAMES[self.index]}*{self.scale}")
+        if self.disp or not parts:
+            parts.append(f"{self.disp:#x}")
+        prefix = {1: "byte ", 2: "word ", 4: ""}[self.size]
+        return f"{prefix}[{' + '.join(parts)}]"
+
+
+#: An operand is a register number, an immediate (int via Imm), or Mem.
+@dataclass(frozen=True)
+class Reg:
+    number: int
+
+    def __str__(self) -> str:
+        return REG_NAMES[self.number]
+
+
+@dataclass(frozen=True)
+class Imm:
+    value: int
+
+    def __str__(self) -> str:
+        return f"{self.value:#x}"
+
+
+@dataclass(frozen=True)
+class Xmm:
+    """An SSE register operand (xmm0..xmm7)."""
+
+    number: int
+
+    def __str__(self) -> str:
+        return f"xmm{self.number}"
+
+
+Operand = Union[Reg, Imm, Mem]
+
+
+@dataclass
+class X86Insn:
+    """One host instruction."""
+
+    op: X86Op
+    dst: Optional[Operand] = None
+    src: Optional[Operand] = None
+    cond: Optional[X86Cond] = None
+    label: Optional[str] = None            # jump target (intra-TB)
+    helper: Optional[Callable] = None      # CALL_HELPER target
+    helper_args: Tuple = ()                # registers passed to the helper
+    imm: int = 0                           # EXIT_TB status / GOTO_TB slot
+    tag: str = "code"
+    target_index: int = -1                 # resolved intra-TB jump target
+
+    def __str__(self) -> str:
+        name = self.op.value
+        if self.op is X86Op.JCC:
+            return f"j{self.cond.value} {self.label}"
+        if self.op is X86Op.SETCC:
+            return f"set{self.cond.value} {self.dst}"
+        if self.op is X86Op.JMP:
+            return f"jmp {self.label}"
+        if self.op is X86Op.CALL_HELPER:
+            helper_name = getattr(self.helper, "__name__", "helper")
+            return f"call {helper_name}"
+        if self.op is X86Op.EXIT_TB:
+            return f"exit_tb {self.imm:#x}"
+        if self.op is X86Op.GOTO_TB:
+            return f"goto_tb slot{self.imm}"
+        operands = ", ".join(str(operand) for operand in
+                             (self.dst, self.src) if operand is not None)
+        return f"{name} {operands}".rstrip()

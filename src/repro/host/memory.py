@@ -1,0 +1,47 @@
+"""The host (emulator-process) address space.
+
+Generated host code addresses the DBT's own data — the ``env`` CPU-state
+structure, the packed softmmu TLB, the host stack, and guest RAM — through
+this flat little-endian address space.  Regions *alias* the live
+bytearrays owned by other components (the TLB's packed table, the
+machine's guest RAM), so a host store through this object is immediately
+visible to the Python-side models and vice versa.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..common.errors import HostExecutionError
+
+
+class HostMemory:
+    """Sparse flat memory built from aliased bytearray regions."""
+
+    def __init__(self):
+        self._regions: List = []  # (base, size, bytearray)
+
+    def map_region(self, base: int, data: bytearray, name: str = "") -> None:
+        for other_base, other_size, _, other_name in self._regions:
+            if base < other_base + other_size and other_base < base + len(data):
+                raise ValueError(f"host region {name} overlaps {other_name}")
+        self._regions.append((base, len(data), data, name))
+        self._regions.sort(key=lambda region: region[0])
+
+    def _find(self, addr: int, size: int):
+        for base, region_size, data, _ in self._regions:
+            if base <= addr and addr + size <= base + region_size:
+                return base, data
+        raise HostExecutionError(
+            f"host access outside mapped regions: 0x{addr:08x} ({size} bytes)")
+
+    def read(self, addr: int, size: int = 4) -> int:
+        base, data = self._find(addr, size)
+        offset = addr - base
+        return int.from_bytes(data[offset:offset + size], "little")
+
+    def write(self, addr: int, value: int, size: int = 4) -> None:
+        base, data = self._find(addr, size)
+        offset = addr - base
+        data[offset:offset + size] = (value & ((1 << (8 * size)) - 1)) \
+            .to_bytes(size, "little")

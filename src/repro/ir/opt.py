@@ -1,0 +1,71 @@
+"""IR optimization passes for the TCG baseline.
+
+Real QEMU eliminates dead condition-code computation with liveness
+analysis over its IR; implementing the same here keeps the baseline
+honest (its 17-ish host instructions per guest instruction already
+include this optimization, per the paper's Figure 15).
+
+Two passes, both conservative across control flow and calls:
+
+- :func:`eliminate_dead_env_stores`: a ``ST_ENV`` to an offset that is
+  overwritten by a later ``ST_ENV`` before any possible read is dead.
+  Helper calls, guest memory ops (they can fault and expose state),
+  branches and TB exits are treated as reads of everything.
+- :func:`eliminate_dead_temps`: classic backward DCE over pure ops.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from .ops import IRInsn, IROp, Temp
+
+#: Ops with no side effect other than writing their dst temp.
+_PURE_OPS = frozenset({
+    IROp.MOVI, IROp.MOV, IROp.ADD, IROp.SUB, IROp.AND, IROp.OR, IROp.XOR,
+    IROp.SHL, IROp.SHR, IROp.SAR, IROp.ROR, IROp.MUL, IROp.NOT, IROp.NEG,
+    IROp.SETCOND, IROp.LD_ENV,
+})
+
+#: Ops after which every env slot must be considered observable.
+_BARRIERS = frozenset({
+    IROp.CALL, IROp.QEMU_LD, IROp.QEMU_ST, IROp.EXIT_TB, IROp.GOTO_TB,
+    IROp.BRCOND, IROp.BR, IROp.LABEL,
+})
+
+
+def eliminate_dead_env_stores(insns: List[IRInsn]) -> List[IRInsn]:
+    """Drop ST_ENV instructions whose value is overwritten before any read."""
+    dead: Set[int] = set()
+    overwritten: Set[int] = set()  # env offsets stored later, unread since
+    for index in range(len(insns) - 1, -1, -1):
+        insn = insns[index]
+        if insn.op in _BARRIERS:
+            overwritten.clear()
+        elif insn.op is IROp.LD_ENV:
+            overwritten.discard(insn.offset)
+        elif insn.op is IROp.ST_ENV:
+            if insn.offset in overwritten:
+                dead.add(index)
+            else:
+                overwritten.add(insn.offset)
+    return [insn for index, insn in enumerate(insns) if index not in dead]
+
+
+def eliminate_dead_temps(insns: List[IRInsn]) -> List[IRInsn]:
+    """Remove pure ops whose destination temp is never used."""
+    while True:
+        used: Set[Temp] = set()
+        for insn in insns:
+            used.update(insn.sources())
+        kept = [insn for insn in insns
+                if not (insn.op in _PURE_OPS and insn.dst is not None and
+                        insn.dst not in used)]
+        if len(kept) == len(insns):
+            return kept
+        insns = kept
+
+
+def optimize(insns: List[IRInsn]) -> List[IRInsn]:
+    """The full baseline optimization pipeline."""
+    return eliminate_dead_temps(eliminate_dead_env_stores(insns))

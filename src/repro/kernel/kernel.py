@@ -1,0 +1,562 @@
+"""The mini guest OS.
+
+A small ARMv7 kernel, written in the repository's assembly dialect and
+assembled at load time.  It exercises every mechanism the paper's
+coordination overheads come from:
+
+- **system-level instructions**: msr/mrs for mode switching, mcr to set up
+  TTBR0/DACR/SCTLR (MMU enable), cpsie/cpsid, exception returns
+  (``movs pc, lr`` / ``subs pc, lr, #4``);
+- **address translation**: it builds a real short-descriptor page table
+  (1 MiB sections for RAM and devices, an L2 table of 4 KiB small pages
+  for the first MiB so kernel pages are privileged-only) and turns the
+  MMU on, after which *every* guest load/store goes through the softmmu;
+- **interrupts**: a periodic timer IRQ with a handler that counts ticks;
+- **demand paging**: MiB 4 of the address space starts unmapped; the
+  data abort handler allocates a physical page from the MiB-7 pool,
+  installs the L2 entry and retries the faulting instruction.
+
+User programs run in USR mode at :data:`USER_ENTRY` and request services
+with ``svc`` using the syscall numbers in :class:`Sys`.
+
+Memory map (guest virtual == guest physical; identity-mapped):
+
+    0x0000_0000  vector table
+    0x0000_8000  kernel code (+ literal pool)
+    0x0001_2000  SVC stack     0x13000 IRQ stack    0x13800 ABT stack
+    0x0001_4000  kernel variables (tick counter)
+    0x0002_0000  L1 page table (16 KiB)
+    0x0002_4000  L2 page table for MiB 0 (1 KiB)
+    0x0004_0000  user program (USER_ENTRY)
+    0x0030_0000  user stack top (grows down)
+    0x0010_0000+ user data / heap (user-accessible sections)
+    0x0040_0000  demand-paged MiB (mapped on first touch)
+    0x0070_0000  physical pool backing the demand pages
+"""
+
+from __future__ import annotations
+
+from ..guest.asm import Program, assemble
+
+USER_ENTRY = 0x40000
+USER_STACK_TOP = 0x300000
+USER_HEAP = 0x100000
+DEMAND_BASE = 0x400000  # MiB 4 is demand-paged (mapped on first touch)
+TICKS_VAR = 0x14000
+
+DEFAULT_TIMER_RELOAD = 5000
+
+
+class Sys:
+    """Syscall numbers (passed in r7, arguments in r0..r1)."""
+
+    EXIT = 0        # r0 = exit code
+    PUTC = 1        # r0 = character
+    PUTS = 2        # r0 = pointer, r1 = length
+    TICKS = 3       # returns timer tick count in r0
+    BREAD = 4       # r0 = sector, r1 = physical buffer address
+    BWRITE = 5      # r0 = sector, r1 = physical buffer address
+    NRXLEN = 6      # returns current rx packet length (0 if none)
+    NRXBYTE = 7     # returns next rx byte
+    NRXDONE = 8     # pop the rx packet
+    NTXBYTE = 9     # r0 = byte to append
+    NTXSEND = 10    # commit the tx packet
+    PDEC = 12       # print r0 as decimal + newline
+    PHEX = 13       # print r0 as hex + newline
+    FAULTS = 14     # returns the demand-paging fault count in r0
+
+
+KERNEL_SOURCE_TEMPLATE = r"""
+@ ----- constants ---------------------------------------------------------
+.equ UART_DR,     0x10000000
+.equ TIMER_BASE,  0x10010000
+.equ INTC_BASE,   0x10020000
+.equ BLOCK_BASE,  0x10030000
+.equ NIC_BASE,    0x10040000
+.equ SYSCON_EXIT, 0x100F0000
+.equ L1_TABLE,    0x20000
+.equ L2_TABLE,    0x24000
+.equ L2_DEMAND,   0x24400
+.equ SVC_STACK,   0x12000
+.equ IRQ_STACK,   0x13000
+.equ ABT_STACK,   0x13800
+.equ TICKS_VAR,   0x14000
+.equ FAULTS_VAR,  0x14004
+.equ DEMAND_NEXT, 0x14008
+.equ USER_ENTRY,  0x40000
+.equ USER_STACK,  0x300000
+.equ RAM_MBS,     {ram_mbs}
+.equ TIMER_RELOAD, {timer_reload}
+
+@ ----- exception vectors -------------------------------------------------
+_vectors:
+    b _kstart             @ 0x00 reset
+    b undef_handler       @ 0x04 undefined instruction
+    b svc_handler         @ 0x08 supervisor call
+    b pabt_handler        @ 0x0C prefetch abort
+    b dabt_handler        @ 0x10 data abort
+    nop                   @ 0x14 (unused)
+    b irq_handler         @ 0x18 IRQ
+    nop                   @ 0x1C FIQ (unused)
+
+.org 0x8000
+@ ----- boot --------------------------------------------------------------
+_kstart:
+    @ Per-mode stacks: hop through each mode with msr cpsr_c.
+    ldr r0, =0xd2         @ IRQ mode, IRQs masked
+    msr cpsr_c, r0
+    ldr sp, =IRQ_STACK
+    ldr r0, =0xd7         @ ABT mode
+    msr cpsr_c, r0
+    ldr sp, =ABT_STACK
+    ldr r0, =0xdf         @ SYS mode (shares the user-bank SP)
+    msr cpsr_c, r0
+    ldr sp, =USER_STACK
+    ldr r0, =0xd3         @ back to SVC mode
+    msr cpsr_c, r0
+    ldr sp, =SVC_STACK
+
+    @ L1 sections for RAM MiBs 1..RAM_MBS-1: user read/write (AP=11).
+    ldr r0, =L1_TABLE
+    mov r1, #1
+sect_loop:
+    cmp r1, #4                    @ MiB 4 is demand-paged (see below)
+    beq sect_next
+    cmp r1, #7                    @ MiB 7 backs the demand-page pool
+    beq sect_next
+    mov r2, r1, lsl #20
+    orr r2, r2, #0xC00
+    orr r2, r2, #0x02
+    str r2, [r0, r1, lsl #2]
+sect_next:
+    add r1, r1, #1
+    cmp r1, #RAM_MBS
+    blt sect_loop
+
+    @ Device sections 0x100..0x104 (privileged only, AP=01).
+    mov r1, #0x100
+dev_loop:
+    mov r2, r1, lsl #20
+    orr r2, r2, #0x400
+    orr r2, r2, #0x02
+    str r2, [r0, r1, lsl #2]
+    add r1, r1, #1
+    ldr r3, =0x105
+    cmp r1, r3
+    blt dev_loop
+
+    @ System controller section 0x10F.
+    ldr r1, =0x10F
+    mov r2, r1, lsl #20
+    orr r2, r2, #0x400
+    orr r2, r2, #0x02
+    str r2, [r0, r1, lsl #2]
+
+    @ MiB 4 is demand-paged: an initially-empty L2 table; the data
+    @ abort handler maps 4 KiB pages on first touch.
+    ldr r2, =L2_DEMAND
+    orr r2, r2, #1
+    str r2, [r0, #16]            @ L1[4]
+    ldr r2, =0x700000            @ physical pool: MiB 7 (not VA-mapped)
+    ldr r1, =DEMAND_NEXT
+    str r2, [r1]                 @ next free physical page
+
+    @ MiB 0 through an L2 table: kernel pages privileged, user pages open.
+    ldr r2, =L2_TABLE
+    orr r2, r2, #1
+    str r2, [r0]
+    ldr r0, =L2_TABLE
+    mov r1, #0
+l2_loop:
+    mov r2, r1, lsl #12
+    orr r2, r2, #0x12     @ small page, AP=01 (privileged)
+    cmp r1, #0x40
+    orrge r2, r2, #0x20   @ pages >= 0x40: AP=11 (user ok)
+    str r2, [r0, r1, lsl #2]
+    add r1, r1, #1
+    cmp r1, #0x100
+    blt l2_loop
+
+    @ Turn the MMU on.
+    ldr r0, =L1_TABLE
+    mcr p15, 0, r0, c2, c0, 0     @ TTBR0
+    mov r0, #1
+    mcr p15, 0, r0, c3, c0, 0     @ DACR (client)
+    mcr p15, 0, r0, c1, c0, 0     @ SCTLR.M = 1
+    mcr p15, 0, r0, c8, c7, 0     @ TLBIALL (flush stale entries)
+
+    @ Timer + interrupt controller.
+    ldr r0, =TIMER_BASE
+    ldr r1, =TIMER_RELOAD
+    str r1, [r0]                  @ LOAD
+    cmp r1, #0
+    moveq r2, #0
+    movne r2, #1
+    str r2, [r0, #8]              @ CTRL.enable iff reload != 0
+    ldr r0, =INTC_BASE
+    mov r1, #5                    @ enable timer (bit 0) + block (bit 2)
+    str r1, [r0, #8]
+    cpsie i
+
+    @ Enter the user program in USR mode with IRQs enabled.
+    ldr r0, =0x10
+    msr spsr_cxsf, r0
+    ldr lr, =USER_ENTRY
+    movs pc, lr
+
+@ ----- supervisor calls --------------------------------------------------
+svc_handler:
+    push {{r0-r12, lr}}
+    cmp r7, #0
+    beq sys_exit
+    cmp r7, #1
+    beq sys_putc
+    cmp r7, #2
+    beq sys_puts
+    cmp r7, #3
+    beq sys_ticks
+    cmp r7, #4
+    beq sys_bread
+    cmp r7, #5
+    beq sys_bwrite
+    cmp r7, #6
+    beq sys_nrxlen
+    cmp r7, #7
+    beq sys_nrxbyte
+    cmp r7, #8
+    beq sys_nrxdone
+    cmp r7, #9
+    beq sys_ntxbyte
+    cmp r7, #10
+    beq sys_ntxsend
+    cmp r7, #12
+    beq sys_pdec
+    cmp r7, #13
+    beq sys_phex
+    cmp r7, #14
+    beq sys_faults
+svc_done:
+    pop {{r0-r12, lr}}
+    movs pc, lr
+
+sys_exit:
+    ldr r1, =SYSCON_EXIT
+    str r0, [r1]                  @ never returns (machine halts)
+
+sys_putc:
+    ldr r1, =UART_DR
+    str r0, [r1]
+    b svc_done
+
+sys_puts:
+    ldr r2, =UART_DR
+    cmp r1, #0
+    beq svc_done
+puts_loop:
+    ldrb r3, [r0], #1
+    str r3, [r2]
+    subs r1, r1, #1
+    bne puts_loop
+    b svc_done
+
+sys_ticks:
+    ldr r0, =TIMER_BASE
+    ldr r0, [r0, #0x10]
+    str r0, [sp]                  @ returned in the caller's r0 slot
+    b svc_done
+
+sys_bread:
+    ldr r2, =BLOCK_BASE
+    str r0, [r2]                  @ SECTOR
+    str r1, [r2, #4]              @ DMA address
+    mov r3, #1
+    str r3, [r2, #8]              @ CMD = read
+    str r3, [r2, #0x10]           @ ACK (transfer is synchronous)
+    b svc_done
+
+sys_bwrite:
+    ldr r2, =BLOCK_BASE
+    str r0, [r2]
+    str r1, [r2, #4]
+    mov r3, #2
+    str r3, [r2, #8]              @ CMD = write
+    mov r3, #1
+    str r3, [r2, #0x10]
+    b svc_done
+
+sys_nrxlen:
+    ldr r1, =NIC_BASE
+    ldr r0, [r1]
+    str r0, [sp]
+    b svc_done
+
+sys_nrxbyte:
+    ldr r1, =NIC_BASE
+    ldr r0, [r1, #4]
+    str r0, [sp]
+    b svc_done
+
+sys_nrxdone:
+    ldr r1, =NIC_BASE
+    mov r0, #1
+    str r0, [r1, #8]
+    b svc_done
+
+sys_ntxbyte:
+    ldr r1, =NIC_BASE
+    str r0, [r1, #0xC]
+    b svc_done
+
+sys_ntxsend:
+    ldr r1, =NIC_BASE
+    mov r0, #1
+    str r0, [r1, #0x10]
+    b svc_done
+
+sys_pdec:
+    ldr r2, =UART_DR
+    ldr r3, =pow10_table
+    mov r12, #0                   @ "printed a digit yet" flag
+pdec_outer:
+    ldr r4, [r3], #4
+    cmp r4, #0
+    beq pdec_end
+    mov r1, #0
+pdec_inner:
+    cmp r0, r4
+    blo pdec_emit
+    sub r0, r0, r4
+    add r1, r1, #1
+    b pdec_inner
+pdec_emit:
+    cmp r12, #1
+    beq pdec_print
+    cmp r1, #0
+    beq pdec_outer                @ skip leading zeros
+pdec_print:
+    mov r12, #1
+    add r1, r1, #'0'
+    str r1, [r2]
+    b pdec_outer
+pdec_end:
+    cmp r12, #0
+    bne pdec_nl
+    mov r1, #'0'
+    str r1, [r2]
+pdec_nl:
+    mov r1, #10
+    str r1, [r2]
+    b svc_done
+
+sys_faults:
+    ldr r0, =FAULTS_VAR
+    ldr r0, [r0]
+    str r0, [sp]                  @ returned in the caller's r0 slot
+    b svc_done
+
+sys_phex:
+    ldr r2, =UART_DR
+    mov r3, #8
+phex_loop:
+    mov r1, r0, lsr #28
+    cmp r1, #10
+    addlt r1, r1, #'0'
+    addge r1, r1, #('a' - 10)
+    str r1, [r2]
+    mov r0, r0, lsl #4
+    subs r3, r3, #1
+    bne phex_loop
+    mov r1, #10
+    str r1, [r2]
+    b svc_done
+
+@ ----- interrupts --------------------------------------------------------
+irq_handler:
+    push {{r0-r3, r12, lr}}
+    ldr r0, =INTC_BASE
+    ldr r1, [r0]                  @ STATUS (pending & enabled)
+    tst r1, #1
+    beq irq_not_timer
+    ldr r0, =TIMER_BASE
+    mov r2, #1
+    str r2, [r0, #0xC]            @ timer ACK
+    ldr r0, =TICKS_VAR
+    ldr r2, [r0]
+    add r2, r2, #1
+    str r2, [r0]
+irq_not_timer:
+    tst r1, #4
+    beq irq_done
+    ldr r0, =BLOCK_BASE
+    mov r2, #1
+    str r2, [r0, #0x10]           @ block ACK
+irq_done:
+    pop {{r0-r3, r12, lr}}
+    subs pc, lr, #4
+
+@ ----- faults ------------------------------------------------------------
+dabt_handler:
+    push {{r0-r3, lr}}
+    mrc p15, 0, r0, c6, c0, 0     @ DFAR: the faulting address
+    ldr r1, =0x400000             @ the demand-paged MiB
+    sub r2, r0, r1
+    cmp r2, #0x100000
+    bhs dabt_fatal
+    @ map the 4 KiB page: L2_DEMAND[(dfar >> 12) & 0xFF]
+    mov r2, r0, lsr #12
+    and r2, r2, #0xFF
+    ldr r1, =DEMAND_NEXT
+    ldr r3, [r1]                  @ next free physical page
+    add r0, r3, #0x1000
+    str r0, [r1]
+    orr r3, r3, #0x30             @ small page, AP=11 (user ok)
+    orr r3, r3, #0x02
+    ldr r1, =L2_DEMAND
+    str r3, [r1, r2, lsl #2]
+    ldr r1, =FAULTS_VAR           @ count the page-in
+    ldr r3, [r1]
+    add r3, r3, #1
+    str r3, [r1]
+    pop {{r0-r3, lr}}
+    subs pc, lr, #8               @ retry the faulting instruction
+dabt_fatal:
+    ldr r0, =UART_DR
+    mov r1, #'D'
+    str r1, [r0]
+    ldr r0, =SYSCON_EXIT
+    mov r1, #127
+    str r1, [r0]
+
+pabt_handler:
+    ldr r0, =UART_DR
+    mov r1, #'P'
+    str r1, [r0]
+    ldr r0, =SYSCON_EXIT
+    mov r1, #125
+    str r1, [r0]
+
+undef_handler:
+    ldr r0, =UART_DR
+    mov r1, #'U'
+    str r1, [r0]
+    ldr r0, =SYSCON_EXIT
+    mov r1, #126
+    str r1, [r0]
+
+pow10_table:
+    .word 1000000000
+    .word 100000000
+    .word 10000000
+    .word 1000000
+    .word 100000
+    .word 10000
+    .word 1000
+    .word 100
+    .word 10
+    .word 1
+    .word 0
+.ltorg
+"""
+
+
+def build_kernel(timer_reload: int = DEFAULT_TIMER_RELOAD,
+                 ram_mbs: int = 8) -> Program:
+    """Assemble the kernel image (base address 0)."""
+    source = KERNEL_SOURCE_TEMPLATE.format(timer_reload=timer_reload,
+                                           ram_mbs=ram_mbs)
+    return assemble(source, base=0)
+
+
+#: User-side syscall wrapper routines; workloads append their code after
+#: this prelude (which starts with a jump to the workload's ``main``).
+USER_PRELUDE = r"""
+.equ USER_HEAP, 0x100000
+.equ DEMAND_BASE, 0x400000
+_start:
+    b main
+
+@ r0 = exit code.
+uexit:
+    mov r7, #0
+    svc #0
+
+@ r0 = character.
+uputc:
+    mov r7, #1
+    svc #0
+    bx lr
+
+@ r0 = pointer, r1 = length.
+uputs:
+    mov r7, #2
+    svc #0
+    bx lr
+
+@ returns tick count in r0.
+uticks:
+    mov r7, #3
+    svc #0
+    bx lr
+
+@ r0 = sector, r1 = buffer (user virtual == physical here).
+ubread:
+    mov r7, #4
+    svc #0
+    bx lr
+
+ubwrite:
+    mov r7, #5
+    svc #0
+    bx lr
+
+unrxlen:
+    mov r7, #6
+    svc #0
+    bx lr
+
+unrxbyte:
+    mov r7, #7
+    svc #0
+    bx lr
+
+unrxdone:
+    mov r7, #8
+    svc #0
+    bx lr
+
+untxbyte:
+    mov r7, #9
+    svc #0
+    bx lr
+
+untxsend:
+    mov r7, #10
+    svc #0
+    bx lr
+
+@ print r0 in decimal + newline.
+updec:
+    mov r7, #12
+    svc #0
+    bx lr
+
+@ print r0 in hex + newline.
+uphex:
+    mov r7, #13
+    svc #0
+    bx lr
+
+@ returns the demand-paging fault count in r0.
+ufaults:
+    mov r7, #14
+    svc #0
+    bx lr
+"""
+
+
+def build_user_program(body: str, base: int = USER_ENTRY) -> Program:
+    """Assemble a user program: prelude (syscall wrappers) + *body*.
+
+    The body must define ``main``; it may end with ``.ltorg`` of its own.
+    """
+    return assemble(USER_PRELUDE + body, base=base)

@@ -1,0 +1,15 @@
+"""The rule-learning pipeline: toycc, extraction, verification, rules."""
+
+from .corpus import TRAINING_SOURCE
+from .extract import CandidateRule, extract_all, extract_function
+from .learn import LearnResult, learn
+from .rules import LearnedRulebook, Rule, build_rulebook, insn_shape, \
+    merge_rules, parameterize
+from .verify import Verdict, verify
+
+__all__ = [
+    "CandidateRule", "LearnResult", "LearnedRulebook", "Rule",
+    "TRAINING_SOURCE", "Verdict", "build_rulebook", "extract_all",
+    "extract_function", "insn_shape", "learn", "merge_rules",
+    "parameterize", "verify",
+]

@@ -1,0 +1,223 @@
+"""Training corpus for the rule-learning pipeline.
+
+Small functions chosen to exercise the instruction patterns the SPEC
+analogs execute: ALU expressions, shifts and masks, comparisons of every
+flavour, loops, array loads/stores.  The paper iterates its framework
+over many source files; the corpus plays that role here.
+"""
+
+TRAINING_SOURCE = """
+func poly(a, b, c) {
+    var x, y;
+    x = a * 4 + b;
+    y = x - c;
+    return y ^ b;
+}
+
+func bits(a, b) {
+    var x;
+    x = (a & 255) | (b << 4);
+    x = x ^ (a >> 3);
+    return ~x;
+}
+
+func maxdiff(a, b) {
+    var d;
+    if (a > b) {
+        d = a - b;
+    } else {
+        d = b - a;
+    }
+    return d;
+}
+
+func sumto(n) {
+    var s, i;
+    s = 0;
+    i = 1;
+    while (i <= n) {
+        s = s + i;
+        i = i + 1;
+    }
+    return s;
+}
+
+func dot(p, q) {
+    var i, s, t;
+    s = 0;
+    i = 0;
+    while (i < 48) {
+        t = p[i] * q[i];
+        s = s + t;
+        i = i + 1;
+    }
+    return s;
+}
+
+func fill(p, n, v) {
+    var i;
+    i = 0;
+    while (i < n) {
+        p[i] = v + i;
+        i = i + 1;
+    }
+    return n;
+}
+
+func clamp(a, lo, hi) {
+    var r;
+    r = a;
+    if (a < lo) {
+        r = lo;
+    }
+    if (a > hi) {
+        r = hi;
+    }
+    return r;
+}
+
+func strideload(p, i) {
+    return p[i * 2 + 1];
+}
+
+func mixer(a, b) {
+    var x;
+    x = a - 58;
+    x = x * 3;
+    x = x + (b * 8);
+    return x;
+}
+
+func cmpchain(a, b, c) {
+    var r;
+    r = 0;
+    if (a == b) {
+        r = 1;
+    }
+    if (b != c) {
+        r = r + 2;
+    }
+    if (a >= c) {
+        r = r + 4;
+    }
+    return r;
+}
+
+func negate(a) {
+    return -a;
+}
+
+func masks(a) {
+    return (a | 240) & ~(a << 8);
+}
+
+func shifty(a, b) {
+    return (a << 3) + (b >> 2);
+}
+
+func store2(p, i, v) {
+    p[i] = v;
+    p[i + 1] = v * 2;
+    return v;
+}
+
+func wsum(p, n) {
+    var i, s;
+    s = 0;
+    i = n - 1;
+    while (i >= 0) {
+        s = s + p[i];
+        i = i - 1;
+    }
+    return s;
+}
+
+func hashstep(h, c) {
+    var x;
+    x = h * 16;
+    x = x + c;
+    x = x ^ (h >> 5);
+    return x & 4080;
+}
+
+func absval(a) {
+    var r;
+    r = a;
+    if (a < 0) {
+        r = 0 - a;
+    }
+    return r;
+}
+
+func scale(p, n, k) {
+    var i;
+    i = 0;
+    while (i < n) {
+        p[i] = p[i] * k;
+        i = i + 1;
+    }
+    return i;
+}
+
+func fieldswap(p) {
+    var a, b;
+    a = p[0];
+    b = p[1];
+    p[0] = b;
+    p[1] = a;
+    return a + b;
+}
+
+func nodecost(p) {
+    var c, f;
+    c = p[1];
+    f = p[2];
+    p[2] = f + 1;
+    return c + f;
+}
+
+func bytesum(p, n) {
+    var i, s;
+    s = 0;
+    i = 0;
+    while (i < n) {
+        s = s + p[[i]];
+        i = i + 1;
+    }
+    return s;
+}
+
+func bytefill(p, n, v) {
+    var i;
+    i = 0;
+    while (i < n) {
+        p[[i]] = v + i;
+        i = i + 1;
+    }
+    return n;
+}
+
+func bytehdr(p) {
+    var t;
+    t = p[[0]];
+    p[[1]] = t * 2;
+    return t;
+}
+
+func addressing(p, i, s) {
+    var x;
+    x = s + (i << 2);
+    x = x - (i >> 1);
+    x = x + i * 8;
+    return x;
+}
+
+func scaled(a, b) {
+    var r;
+    r = a + b * 4;
+    if (r > (a << 1)) {
+        r = r - (b << 3);
+    }
+    return r;
+}
+"""

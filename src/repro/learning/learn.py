@@ -1,0 +1,56 @@
+"""The end-to-end learning pipeline (paper Sec II-A).
+
+``learn()`` compiles the training corpus with both toycc back ends,
+extracts line-paired fragments, formally verifies each candidate with
+the symbolic executors, parameterizes the survivors and assembles the
+:class:`~repro.learning.rules.LearnedRulebook`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from .corpus import TRAINING_SOURCE
+from .extract import CandidateRule, extract_all
+from .rules import LearnedRulebook, Rule, build_rulebook, merge_rules, \
+    parameterize
+from .toycc.parser import parse
+from .verify import Verdict, verify
+
+
+@dataclass
+class LearnResult:
+    rules: List[Rule] = field(default_factory=list)
+    rulebook: LearnedRulebook = None
+    candidates: int = 0
+    verified: int = 0
+    proved: int = 0
+    rejected: List[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        return (f"{self.candidates} candidates -> {self.verified} verified "
+                f"({self.proved} proved by normalization) -> "
+                f"{len(self.rules)} parameterized rules")
+
+
+def learn(source: str = TRAINING_SOURCE) -> LearnResult:
+    functions = parse(source)
+    candidates = extract_all(functions)
+    result = LearnResult(candidates=len(candidates))
+    verified_candidates: List[CandidateRule] = []
+    raw_rules: List[Rule] = []
+    for candidate in candidates:
+        verdict: Verdict = verify(candidate)
+        if not verdict.ok:
+            result.rejected.append(
+                f"{candidate.function}:{candidate.line}: {verdict.reason}")
+            continue
+        result.verified += 1
+        if verdict.proved:
+            result.proved += 1
+        verified_candidates.append(candidate)
+        raw_rules.append(parameterize(candidate, verdict.proved))
+    result.rules = merge_rules(raw_rules)
+    result.rulebook = build_rulebook(result.rules, verified_candidates)
+    return result

@@ -1,0 +1,58 @@
+"""Rulebook serialization: save/load learned rule sets as JSON.
+
+The paper's framework accumulates rules over many training iterations;
+persisting the rule set lets a deployment ship pre-learned rules (the
+way [2]'s parameterized rule set is reused by this paper) without
+re-running the pipeline.
+"""
+
+from __future__ import annotations
+
+import json
+from .rules import LearnedRulebook, Rule
+
+FORMAT_VERSION = 1
+
+
+def rulebook_to_dict(rulebook: LearnedRulebook) -> dict:
+    return {
+        "format": FORMAT_VERSION,
+        "rules": [
+            {
+                "guest": list(rule.guest_pattern),
+                "host": list(rule.host_pattern),
+                "proved": rule.proved,
+                "origins": [list(origin) for origin in rule.origins],
+                "opcode_class": rule.opcode_class,
+            }
+            for rule in rulebook.rules
+        ],
+        "shapes": sorted(
+            [list(shape) for shape in rulebook._shapes],
+            key=repr),
+    }
+
+
+def rulebook_from_dict(data: dict) -> LearnedRulebook:
+    if data.get("format") != FORMAT_VERSION:
+        raise ValueError(f"unsupported rulebook format {data.get('format')}")
+    rules = [
+        Rule(guest_pattern=tuple(entry["guest"]),
+             host_pattern=tuple(entry["host"]),
+             proved=entry["proved"],
+             origins=[tuple(origin) for origin in entry["origins"]],
+             opcode_class=entry["opcode_class"])
+        for entry in data["rules"]
+    ]
+    shapes = {tuple(shape) for shape in data["shapes"]}
+    return LearnedRulebook(rules, shapes)
+
+
+def save_rulebook(rulebook: LearnedRulebook, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(rulebook_to_dict(rulebook), handle, indent=1)
+
+
+def load_rulebook(path: str) -> LearnedRulebook:
+    with open(path) as handle:
+        return rulebook_from_dict(json.load(handle))

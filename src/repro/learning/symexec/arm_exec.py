@@ -1,0 +1,158 @@
+"""Symbolic executor for straight-line ARM fragments (toycc output)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ...common.errors import RuleVerificationError
+from ...guest.isa import (ArmInsn, COMPARE_OPS, Cond, DATA_PROCESSING_OPS,
+                          Op, Operand2, ShiftKind)
+from .expr import App, Sym, const
+
+#: canonical comparison names keyed by the *false-branch* condition the
+#: toycc back ends emit (both sides branch when the condition fails).
+_FALSE_COND_NAME = {
+    Cond.NE: "eq", Cond.EQ: "ne", Cond.GE: "lt", Cond.LE: "gt",
+    Cond.GT: "le", Cond.LT: "ge", Cond.CS: "ltu", Cond.CC: "geu",
+    Cond.HI: "leu", Cond.LS: "gtu",
+}
+
+
+@dataclass
+class SymState:
+    """Final symbolic state of a fragment."""
+
+    regs: Dict[str, object] = field(default_factory=dict)
+    stores: List[Tuple[object, int, object]] = field(default_factory=list)
+    #: (canonical comparison, lhs, rhs) when the fragment ends in a
+    #: compare + conditional branch (an if/while condition line)
+    branch: Optional[Tuple[str, object, object]] = None
+    #: True when the fragment ends with an unconditional jump (return)
+    jumps: bool = False
+
+
+class ArmSymExec:
+    """Executes a fragment over symbolic register contents."""
+
+    def __init__(self, initial: Dict[str, object]):
+        self.regs: Dict[str, object] = dict(initial)
+        self.stores: List[Tuple[object, int, object]] = []
+        self.branch = None
+        self.jumps = False
+        self._compare: Optional[Tuple[object, object]] = None
+        self._load_counter = 0
+
+    def _reg(self, number: int):
+        name = f"r{number}"
+        if name not in self.regs:
+            self.regs[name] = Sym(f"arm_{name}")
+        return self.regs[name]
+
+    def _set_reg(self, number: int, value) -> None:
+        self.regs[f"r{number}"] = value
+
+    def _operand2(self, op2: Operand2):
+        if op2.is_imm:
+            return const(op2.imm)
+        value = self._reg(op2.rm)
+        if op2.rs is not None:
+            raise RuleVerificationError("register-shifted operands are "
+                                        "not rule-learnable fragments")
+        if op2.shift == ShiftKind.LSL and op2.shift_imm == 0:
+            return value
+        op_name = {ShiftKind.LSL: "shl", ShiftKind.LSR: "shr",
+                   ShiftKind.ASR: "sar", ShiftKind.ROR: "ror"}[op2.shift]
+        return App(op_name, (value, const(op2.shift_imm)))
+
+    def execute(self, insns: List[ArmInsn]) -> SymState:
+        for insn in insns:
+            self._insn(insn)
+        return SymState(regs=dict(self.regs), stores=list(self.stores),
+                        branch=self.branch, jumps=self.jumps)
+
+    def _insn(self, insn: ArmInsn) -> None:  # noqa: C901
+        op = insn.op
+        if insn.cond != Cond.AL and op is not Op.B:
+            raise RuleVerificationError(
+                "conditional bodies are not extracted as fragments")
+        if op in COMPARE_OPS:
+            if op is not Op.CMP:
+                raise RuleVerificationError(f"unsupported compare {op}")
+            self._compare = (self._reg(insn.rn),
+                             self._operand2(insn.op2))
+            return
+        if op in DATA_PROCESSING_OPS:
+            operand2 = self._operand2(insn.op2)
+            if op is Op.MOV:
+                result = operand2
+            elif op is Op.MVN:
+                result = App("not", (operand2,))
+            else:
+                operand1 = self._reg(insn.rn)
+                result = _dp_expr(op, operand1, operand2)
+            self._set_reg(insn.rd, result)
+            return
+        if op is Op.MUL:
+            self._set_reg(insn.rd, App("mulv", (self._reg(insn.rm),
+                                                self._reg(insn.rs))))
+            return
+        if op in (Op.LDR, Op.LDRB):
+            address = self._address(insn)
+            self._load_counter += 1
+            size = 4 if op is Op.LDR else 1
+            self._set_reg(insn.rd, App("load", (address, const(size))))
+            return
+        if op in (Op.STR, Op.STRB):
+            address = self._address(insn)
+            value = self._reg(insn.rd)
+            if op is Op.STRB:
+                value = App("and", (value, const(0xFF)))
+            self.stores.append((address, 4 if op is Op.STR else 1, value))
+            return
+        if op is Op.B:
+            if insn.cond == Cond.AL:
+                self.jumps = True
+                return
+            if self._compare is None:
+                raise RuleVerificationError("conditional branch without "
+                                            "a preceding compare")
+            name = _FALSE_COND_NAME.get(insn.cond)
+            if name is None:
+                raise RuleVerificationError(f"condition {insn.cond}")
+            lhs, rhs = self._compare
+            self.branch = (name, lhs, rhs)
+            return
+        if op is Op.BX:
+            self.jumps = True
+            return
+        raise RuleVerificationError(f"unsupported instruction {insn}")
+
+    def _address(self, insn: ArmInsn):
+        base = self._reg(insn.rn)
+        if insn.mem_offset_reg is not None:
+            offset = self._reg(insn.mem_offset_reg)
+            if insn.mem_shift_imm:
+                offset = App("shl", (offset, const(insn.mem_shift_imm)))
+            return App("add", (base, offset))
+        if insn.mem_offset_imm:
+            return App("add", (base, const(insn.mem_offset_imm)))
+        return base
+
+
+def _dp_expr(op: Op, a, b):
+    if op is Op.ADD:
+        return App("add", (a, b))
+    if op is Op.SUB:
+        return App("add", (a, App("mulv", (const(0xFFFFFFFF), b))))
+    if op is Op.RSB:
+        return App("add", (b, App("mulv", (const(0xFFFFFFFF), a))))
+    if op is Op.AND:
+        return App("and", (a, b))
+    if op is Op.ORR:
+        return App("or", (a, b))
+    if op is Op.EOR:
+        return App("xor", (a, b))
+    if op is Op.BIC:
+        return App("and", (a, App("not", (b,))))
+    raise RuleVerificationError(f"unsupported data-processing op {op}")

@@ -1,0 +1,131 @@
+"""Symbolic executor for straight-line x86 fragments (toycc output)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ...common.errors import RuleVerificationError
+from ...host.isa import (Imm, Mem, Reg, REG_NAMES, X86Cond, X86Insn, X86Op)
+from .arm_exec import SymState
+from .expr import App, Sym, const
+
+#: canonical comparison names keyed by the false-branch host condition.
+_FALSE_COND_NAME = {
+    X86Cond.NE: "eq", X86Cond.E: "ne", X86Cond.GE: "lt", X86Cond.LE: "gt",
+    X86Cond.G: "le", X86Cond.L: "ge", X86Cond.AE: "ltu", X86Cond.B: "geu",
+    X86Cond.A: "leu", X86Cond.BE: "gtu",
+}
+
+_BIN_EXPR = {X86Op.ADD: "add", X86Op.AND: "and", X86Op.OR: "or",
+             X86Op.XOR: "xor", X86Op.IMUL: "mulv"}
+
+
+class X86SymExec:
+    def __init__(self, initial: Dict[str, object]):
+        self.regs: Dict[str, object] = dict(initial)
+        self.stores: List[Tuple[object, int, object]] = []
+        self.branch: Optional[Tuple[str, object, object]] = None
+        self.jumps = False
+        self._compare: Optional[Tuple[object, object]] = None
+
+    def _reg(self, number: int):
+        name = REG_NAMES[number]
+        if name not in self.regs:
+            self.regs[name] = Sym(f"x86_{name}")
+        return self.regs[name]
+
+    def _set_reg(self, number: int, value) -> None:
+        self.regs[REG_NAMES[number]] = value
+
+    def _value(self, operand):
+        if isinstance(operand, Imm):
+            return const(operand.value)
+        if isinstance(operand, Reg):
+            return self._reg(operand.number)
+        if isinstance(operand, Mem):
+            return App("load", (self._address(operand),
+                                const(operand.size)))
+        raise RuleVerificationError(f"bad operand {operand}")
+
+    def _address(self, mem: Mem):
+        parts = []
+        if mem.base is not None:
+            parts.append(self._reg(mem.base))
+        if mem.index is not None:
+            index = self._reg(mem.index)
+            if mem.scale != 1:
+                index = App("mulv", (const(mem.scale), index))
+            parts.append(index)
+        if mem.disp:
+            parts.append(const(mem.disp))
+        if not parts:
+            return const(0)
+        if len(parts) == 1:
+            return parts[0]
+        return App("add", tuple(parts))
+
+    def execute(self, insns: List[X86Insn]) -> SymState:
+        for insn in insns:
+            self._insn(insn)
+        return SymState(regs=dict(self.regs), stores=list(self.stores),
+                        branch=self.branch, jumps=self.jumps)
+
+    def _insn(self, insn: X86Insn) -> None:  # noqa: C901
+        op = insn.op
+        if op is X86Op.MOV:
+            value = self._value(insn.src)
+            if isinstance(insn.dst, Mem):
+                if insn.dst.size == 1:
+                    value = App("and", (value, const(0xFF)))
+                self.stores.append((self._address(insn.dst), insn.dst.size,
+                                    value))
+            else:
+                self._set_reg(insn.dst.number, value)
+            return
+        if op is X86Op.MOVZX:
+            # toycc only uses movzx for byte loads from memory.
+            value = self._value(insn.src)
+            self._set_reg(insn.dst.number, value)
+            return
+        if op in _BIN_EXPR:
+            value = App(_BIN_EXPR[op],
+                        (self._value(insn.dst), self._value(insn.src)))
+            self._set_reg(insn.dst.number, value)
+            return
+        if op is X86Op.SUB:
+            value = App("add", (self._value(insn.dst),
+                                App("mulv", (const(0xFFFFFFFF),
+                                             self._value(insn.src)))))
+            self._set_reg(insn.dst.number, value)
+            return
+        if op in (X86Op.SHL, X86Op.SHR, X86Op.SAR):
+            name = {X86Op.SHL: "shl", X86Op.SHR: "shr",
+                    X86Op.SAR: "sar"}[op]
+            value = App(name, (self._value(insn.dst),
+                               self._value(insn.src)))
+            self._set_reg(insn.dst.number, value)
+            return
+        if op is X86Op.NEG:
+            value = App("mulv", (const(0xFFFFFFFF), self._value(insn.dst)))
+            self._set_reg(insn.dst.number, value)
+            return
+        if op is X86Op.NOT:
+            self._set_reg(insn.dst.number,
+                          App("not", (self._value(insn.dst),)))
+            return
+        if op is X86Op.CMP:
+            self._compare = (self._value(insn.dst), self._value(insn.src))
+            return
+        if op is X86Op.JCC:
+            if self._compare is None:
+                raise RuleVerificationError("jcc without compare")
+            name = _FALSE_COND_NAME.get(insn.cond)
+            if name is None:
+                raise RuleVerificationError(f"condition {insn.cond}")
+            lhs, rhs = self._compare
+            self.branch = (name, lhs, rhs)
+            return
+        if op in (X86Op.JMP, X86Op.EXIT_TB):
+            self.jumps = True
+            return
+        raise RuleVerificationError(f"unsupported host instruction {insn}")

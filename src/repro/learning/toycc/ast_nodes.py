@@ -1,0 +1,122 @@
+"""AST for the toy training language.
+
+The language is a C subset sufficient to generate the instruction
+patterns the learning pipeline trains on::
+
+    func name(a, b) {
+        var x;
+        x = a * 2 + b;
+        if (x > a) { x = x - 1; } else { x = x + 1; }
+        while (x > 0) { x = x - b; }
+        return x;
+    }
+
+Only ``int`` values exist; ``p[i]`` indexes a word array passed by
+address.  Every statement records its source line — that is the debug
+information the rule-learning extraction keys on (standing in for DWARF
+line tables).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class Expr:
+    line: int = 0
+
+
+@dataclass
+class Num(Expr):
+    value: int = 0
+
+
+@dataclass
+class Var(Expr):
+    name: str = ""
+
+
+@dataclass
+class Index(Expr):
+    """Array load: base[index] (base is a pointer parameter)."""
+
+    base: str = ""
+    index: Optional[Expr] = None
+
+
+@dataclass
+class ByteIndex(Expr):
+    """Byte-array load: base[[index]]."""
+
+    base: str = ""
+    index: Optional[Expr] = None
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""
+    left: Optional[Expr] = None
+    right: Optional[Expr] = None
+
+
+@dataclass
+class Stmt:
+    line: int = 0
+
+
+@dataclass
+class Assign(Stmt):
+    target: str = ""
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Store(Stmt):
+    """Array store: base[index] = value."""
+
+    base: str = ""
+    index: Optional[Expr] = None
+    value: Optional[Expr] = None
+
+
+@dataclass
+class ByteStore(Stmt):
+    """Byte-array store: base[[index]] = value."""
+
+    base: str = ""
+    index: Optional[Expr] = None
+    value: Optional[Expr] = None
+
+
+@dataclass
+class If(Stmt):
+    condition: Optional[Expr] = None
+    then_body: List[Stmt] = field(default_factory=list)
+    else_body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class While(Stmt):
+    condition: Optional[Expr] = None
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Function:
+    name: str = ""
+    params: List[str] = field(default_factory=list)
+    locals: List[str] = field(default_factory=list)
+    body: List[Stmt] = field(default_factory=list)

@@ -1,0 +1,262 @@
+"""toycc x86 back end.
+
+Mirrors the ARM back end's structure (same homes-in-registers strategy,
+same per-statement shape) so that line-grouped fragments from the two
+back ends are semantically parallel — exactly the property the paper's
+learning framework relies on when it pairs binaries compiled from the
+same source.
+
+Conventions: variables home in EBX, ESI, EDI, ECX, EBP (declaration
+order), expressions evaluate in EAX/EDX, the result returns in EAX.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ...common.errors import ReproError
+from ...host.builder import CodeBuilder
+from ...host.isa import (EAX, EBP, EBX, ECX, EDI, EDX, ESI, Imm, Mem, Reg,
+                         X86Cond, X86Insn, X86Op)
+from .ast_nodes import (Assign, Binary, ByteIndex, ByteStore, Function, If,
+                        Index, Num, Return, Store, Unary, Var, While)
+
+HOME_REGS = [EBX, ESI, EDI, ECX, EBP]
+SCRATCH_REGS = [EAX, EDX]
+
+#: comparison -> jcc-if-false (signed)
+_FALSE_COND = {"==": X86Cond.NE, "!=": X86Cond.E, "<": X86Cond.GE,
+               ">": X86Cond.LE, "<=": X86Cond.G, ">=": X86Cond.L}
+
+_BINOPS = {"+": X86Op.ADD, "-": X86Op.SUB, "&": X86Op.AND, "|": X86Op.OR,
+           "^": X86Op.XOR}
+
+
+@dataclass
+class X86Output:
+    name: str
+    code: List[X86Insn] = field(default_factory=list)
+    line_table: List[int] = field(default_factory=list)
+    var_homes: Dict[str, int] = field(default_factory=dict)
+
+
+class X86Codegen:
+    def __init__(self, function: Function):
+        self.function = function
+        self.builder = CodeBuilder(default_tag="toycc")
+        self.line_table: List[int] = []
+        self.homes: Dict[str, int] = {}
+        self.free_scratch = list(SCRATCH_REGS)
+
+    # -- emission helpers -----------------------------------------------------
+
+    def emit(self, op: X86Op, dst=None, src=None, line: int = 0,
+             **kwargs) -> None:
+        before = len(self.builder.insns)
+        self.builder.emit(op, dst, src, **kwargs)
+        self.line_table.extend([line] * (len(self.builder.insns) - before))
+
+    def alloc(self) -> int:
+        if not self.free_scratch:
+            raise ReproError("toycc: expression too deep for the "
+                             "scratch registers")
+        return self.free_scratch.pop(0)
+
+    def free(self, reg: int) -> None:
+        if reg in SCRATCH_REGS and reg not in self.free_scratch:
+            self.free_scratch.insert(0, reg)
+
+    # -- top level ---------------------------------------------------------------
+
+    def generate(self) -> X86Output:
+        function = self.function
+        variables = function.params + function.locals
+        if len(variables) > len(HOME_REGS):
+            raise ReproError(f"toycc: too many variables in "
+                             f"{function.name}")
+        self.homes = dict(zip(variables, HOME_REGS))
+        for statement in function.body:
+            self._statement(statement)
+        self.builder.bind(f".{function.name}_epilogue")
+        self.emit(X86Op.EXIT_TB, line=0)
+        code = self.builder.finish()
+        return X86Output(name=function.name, code=code,
+                         line_table=list(self.line_table),
+                         var_homes=dict(self.homes))
+
+    # -- statements ------------------------------------------------------------------
+
+    def _statement(self, statement) -> None:
+        if isinstance(statement, Assign):
+            reg = self._expr(statement.value, statement.line)
+            self.emit(X86Op.MOV, Reg(self.homes[statement.target]),
+                      Reg(reg), line=statement.line)
+            self.free(reg)
+        elif isinstance(statement, Store):
+            value = self._expr(statement.value, statement.line)
+            base = self.homes[statement.base]
+            if isinstance(statement.index, Num):
+                self.emit(X86Op.MOV,
+                          Mem(base=base, disp=4 * statement.index.value),
+                          Reg(value), line=statement.line)
+            else:
+                index = self._expr(statement.index, statement.line)
+                self.emit(X86Op.MOV, Mem(base=base, index=index, scale=4),
+                          Reg(value), line=statement.line)
+                self.free(index)
+            self.free(value)
+        elif isinstance(statement, ByteStore):
+            value = self._expr(statement.value, statement.line)
+            base = self.homes[statement.base]
+            if isinstance(statement.index, Num):
+                self.emit(X86Op.MOV,
+                          Mem(base=base, disp=statement.index.value,
+                              size=1),
+                          Reg(value), line=statement.line)
+            else:
+                index = self._expr(statement.index, statement.line)
+                self.emit(X86Op.MOV,
+                          Mem(base=base, index=index, size=1),
+                          Reg(value), line=statement.line)
+                self.free(index)
+            self.free(value)
+        elif isinstance(statement, Return):
+            reg = self._expr(statement.value, statement.line)
+            if reg != EAX:
+                self.emit(X86Op.MOV, Reg(EAX), Reg(reg),
+                          line=statement.line)
+            self.emit(X86Op.JMP, label=f".{self.function.name}_epilogue",
+                      line=statement.line)
+            self.free(reg)
+        elif isinstance(statement, If):
+            else_label = self.builder.new_label("else")
+            end_label = self.builder.new_label("endif")
+            self._condition(statement.condition, else_label,
+                            statement.line)
+            for inner in statement.then_body:
+                self._statement(inner)
+            if statement.else_body:
+                self.emit(X86Op.JMP, label=end_label, line=statement.line)
+                self.builder.bind(else_label)
+                for inner in statement.else_body:
+                    self._statement(inner)
+                self.builder.bind(end_label)
+            else:
+                self.builder.bind(else_label)
+        elif isinstance(statement, While):
+            head = self.builder.new_label("loop")
+            exit_label = self.builder.new_label("endloop")
+            self.builder.bind(head)
+            self._condition(statement.condition, exit_label,
+                            statement.line)
+            for inner in statement.body:
+                self._statement(inner)
+            self.emit(X86Op.JMP, label=head, line=statement.line)
+            self.builder.bind(exit_label)
+        else:
+            raise ReproError(f"toycc: unknown statement {statement}")
+
+    def _condition(self, condition, false_label: str, line: int) -> None:
+        if not isinstance(condition, Binary) or \
+                condition.op not in _FALSE_COND:
+            raise ReproError("toycc: conditions must be comparisons")
+        left = self._expr(condition.left, line)
+        right, right_free = self._operand(condition.right, line)
+        self.emit(X86Op.CMP, Reg(left), right, line=line)
+        self.emit(X86Op.JCC, cond=_FALSE_COND[condition.op],
+                  label=false_label, line=line)
+        self.free(left)
+        if right_free is not None:
+            self.free(right_free)
+
+    # -- expressions --------------------------------------------------------------------
+
+    def _operand(self, expression, line: int):
+        if isinstance(expression, Num):
+            return Imm(expression.value & 0xFFFFFFFF), None
+        if isinstance(expression, Var):
+            return Reg(self.homes[expression.name]), None
+        reg = self._expr(expression, line)
+        return Reg(reg), reg
+
+    def _expr(self, expression, line: int) -> int:
+        if isinstance(expression, Num):
+            reg = self.alloc()
+            self.emit(X86Op.MOV, Reg(reg),
+                      Imm(expression.value & 0xFFFFFFFF), line=line)
+            return reg
+        if isinstance(expression, Var):
+            reg = self.alloc()
+            self.emit(X86Op.MOV, Reg(reg),
+                      Reg(self.homes[expression.name]), line=line)
+            return reg
+        if isinstance(expression, Index):
+            base = self.homes[expression.base]
+            if isinstance(expression.index, Num):
+                reg = self.alloc()
+                self.emit(X86Op.MOV, Reg(reg),
+                          Mem(base=base, disp=4 * expression.index.value),
+                          line=line)
+                return reg
+            index = self._expr(expression.index, line)
+            self.emit(X86Op.MOV, Reg(index),
+                      Mem(base=base, index=index, scale=4), line=line)
+            return index
+        if isinstance(expression, ByteIndex):
+            base = self.homes[expression.base]
+            if isinstance(expression.index, Num):
+                reg = self.alloc()
+                self.emit(X86Op.MOVZX, Reg(reg),
+                          Mem(base=base, disp=expression.index.value,
+                              size=1), line=line)
+                return reg
+            index = self._expr(expression.index, line)
+            self.emit(X86Op.MOVZX, Reg(index),
+                      Mem(base=base, index=index, size=1), line=line)
+            return index
+        if isinstance(expression, Unary):
+            reg = self._expr(expression.operand, line)
+            self.emit(X86Op.NEG if expression.op == "-" else X86Op.NOT,
+                      Reg(reg), line=line)
+            return reg
+        if isinstance(expression, Binary):
+            return self._binary(expression, line)
+        raise ReproError(f"toycc: unknown expression {expression}")
+
+    def _binary(self, expression: Binary, line: int) -> int:
+        op = expression.op
+        if op == "*":
+            return self._multiply(expression, line)
+        left = self._expr(expression.left, line)
+        if op in ("<<", ">>"):
+            amount = expression.right
+            if not isinstance(amount, Num):
+                raise ReproError("toycc: shift amounts must be constants")
+            host = X86Op.SHL if op == "<<" else X86Op.SAR
+            self.emit(host, Reg(left), Imm(amount.value), line=line)
+            return left
+        right, right_free = self._operand(expression.right, line)
+        self.emit(_BINOPS[op], Reg(left), right, line=line)
+        if right_free is not None:
+            self.free(right_free)
+        return left
+
+    def _multiply(self, expression: Binary, line: int) -> int:
+        right = expression.right
+        if isinstance(right, Num) and right.value > 0 and \
+                (right.value & (right.value - 1)) == 0:
+            left = self._expr(expression.left, line)
+            shift = right.value.bit_length() - 1
+            self.emit(X86Op.SHL, Reg(left), Imm(shift), line=line)
+            return left
+        left = self._expr(expression.left, line)
+        right_operand, right_free = self._operand(right, line)
+        self.emit(X86Op.IMUL, Reg(left), right_operand, line=line)
+        if right_free is not None:
+            self.free(right_free)
+        return left
+
+
+def compile_x86(function: Function) -> X86Output:
+    return X86Codegen(function).generate()

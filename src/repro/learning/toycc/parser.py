@@ -1,0 +1,213 @@
+"""Lexer and recursive-descent parser for the toy training language."""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+from ...common.errors import ReproError
+from .ast_nodes import (Assign, Binary, ByteIndex, ByteStore, Expr,
+                        Function, If, Index, Num, Return, Stmt, Store,
+                        Unary, Var, While)
+
+
+class ParseError(ReproError):
+    pass
+
+
+_TOKEN_RE = re.compile(r"""
+    (?P<ws>\s+)
+  | (?P<comment>//[^\n]*)
+  | (?P<num>0x[0-9a-fA-F]+|\d+)
+  | (?P<name>[A-Za-z_]\w*)
+  | (?P<op><<|>>|<=|>=|==|!=|[-+*&|^~<>=(){}\[\];,])
+""", re.VERBOSE)
+
+KEYWORDS = {"func", "var", "if", "else", "while", "return"}
+
+
+def tokenize(source: str) -> List[Tuple[str, str, int]]:
+    """Returns (kind, text, line) triples."""
+    tokens = []
+    line = 1
+    position = 0
+    while position < len(source):
+        match = _TOKEN_RE.match(source, position)
+        if not match:
+            raise ParseError(f"bad character {source[position]!r} "
+                             f"at line {line}")
+        kind = match.lastgroup
+        text = match.group()
+        if kind in ("ws", "comment"):
+            line += text.count("\n")
+        elif kind == "name" and text in KEYWORDS:
+            tokens.append(("kw", text, line))
+        else:
+            tokens.append((kind, text, line))
+        position = match.end()
+    tokens.append(("eof", "", line))
+    return tokens
+
+
+class Parser:
+    """Parses a source file into a list of functions."""
+
+    _PRECEDENCE = {"|": 1, "^": 2, "&": 3,
+                   "==": 4, "!=": 4, "<": 5, ">": 5, "<=": 5, ">=": 5,
+                   "<<": 6, ">>": 6, "+": 7, "-": 7, "*": 8}
+
+    def __init__(self, source: str):
+        self.tokens = tokenize(source)
+        self.position = 0
+
+    # -- token helpers -------------------------------------------------------
+
+    def _peek(self):
+        return self.tokens[self.position]
+
+    def _next(self):
+        token = self.tokens[self.position]
+        self.position += 1
+        return token
+
+    def _expect(self, text: str):
+        kind, value, line = self._next()
+        if value != text:
+            raise ParseError(f"expected {text!r}, got {value!r} "
+                             f"at line {line}")
+        return line
+
+    def _accept(self, text: str) -> bool:
+        if self._peek()[1] == text:
+            self._next()
+            return True
+        return False
+
+    # -- grammar --------------------------------------------------------------
+
+    def parse(self) -> List[Function]:
+        functions = []
+        while self._peek()[0] != "eof":
+            functions.append(self._function())
+        return functions
+
+    def _function(self) -> Function:
+        self._expect("func")
+        _, name, _ = self._next()
+        self._expect("(")
+        params = []
+        if not self._accept(")"):
+            while True:
+                params.append(self._next()[1])
+                if self._accept(")"):
+                    break
+                self._expect(",")
+        self._expect("{")
+        function = Function(name=name, params=params)
+        while self._peek()[1] == "var":
+            self._next()
+            while True:
+                function.locals.append(self._next()[1])
+                if self._accept(";"):
+                    break
+                self._expect(",")
+        function.body = self._block_body()
+        return function
+
+    def _block_body(self) -> List[Stmt]:
+        statements = []
+        while not self._accept("}"):
+            statements.append(self._statement())
+        return statements
+
+    def _statement(self) -> Stmt:
+        kind, text, line = self._peek()
+        if text == "return":
+            self._next()
+            value = self._expression()
+            self._expect(";")
+            return Return(line=line, value=value)
+        if text == "if":
+            self._next()
+            self._expect("(")
+            condition = self._expression()
+            self._expect(")")
+            self._expect("{")
+            then_body = self._block_body()
+            else_body = []
+            if self._accept("else"):
+                self._expect("{")
+                else_body = self._block_body()
+            return If(line=line, condition=condition, then_body=then_body,
+                      else_body=else_body)
+        if text == "while":
+            self._next()
+            self._expect("(")
+            condition = self._expression()
+            self._expect(")")
+            self._expect("{")
+            body = self._block_body()
+            return While(line=line, condition=condition, body=body)
+        # Assignment or array store.
+        _, name, line = self._next()
+        if self._accept("["):
+            byte_wide = self._accept("[")
+            index = self._expression()
+            self._expect("]")
+            if byte_wide:
+                self._expect("]")
+            self._expect("=")
+            value = self._expression()
+            self._expect(";")
+            if byte_wide:
+                return ByteStore(line=line, base=name, index=index,
+                                 value=value)
+            return Store(line=line, base=name, index=index, value=value)
+        self._expect("=")
+        value = self._expression()
+        self._expect(";")
+        return Assign(line=line, target=name, value=value)
+
+    def _expression(self, min_precedence: int = 1) -> Expr:
+        left = self._unary()
+        while True:
+            _, text, line = self._peek()
+            precedence = self._PRECEDENCE.get(text, 0)
+            if precedence < min_precedence:
+                return left
+            self._next()
+            right = self._expression(precedence + 1)
+            left = Binary(line=line, op=text, left=left, right=right)
+
+    def _unary(self) -> Expr:
+        kind, text, line = self._peek()
+        if text == "-":
+            self._next()
+            return Unary(line=line, op="-", operand=self._unary())
+        if text == "~":
+            self._next()
+            return Unary(line=line, op="~", operand=self._unary())
+        if text == "(":
+            self._next()
+            inner = self._expression()
+            self._expect(")")
+            return inner
+        if kind == "num":
+            self._next()
+            return Num(line=line, value=int(text, 0))
+        if kind == "name":
+            self._next()
+            if self._accept("["):
+                byte_wide = self._accept("[")
+                index = self._expression()
+                self._expect("]")
+                if byte_wide:
+                    self._expect("]")
+                    return ByteIndex(line=line, base=text, index=index)
+                return Index(line=line, base=text, index=index)
+            return Var(line=line, name=text)
+        raise ParseError(f"unexpected token {text!r} at line {line}")
+
+
+def parse(source: str) -> List[Function]:
+    return Parser(source).parse()

@@ -1,0 +1,116 @@
+"""Formal semantic-equivalence verification of candidate rules.
+
+Paper learning step 3: symbolically execute both fragments of a
+candidate and check that they compute the same observable state:
+
+- final values of every source variable's home register,
+- scratch-register outputs (the two back ends use the same evaluation
+  order, so scratch *k* corresponds across ISAs),
+- memory stores (address, size, value — in order),
+- the branch condition, when the fragment is an if/while condition.
+
+Candidates the executors cannot model (or that fail the check) are
+rejected — they never become rules, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from ..common.errors import RuleVerificationError
+from ..host.isa import EAX, EDX, REG_NAMES
+from .extract import CandidateRule
+from .symexec.arm_exec import ArmSymExec
+from .symexec.expr import Sym, equivalent
+from .symexec.x86_exec import X86SymExec
+
+#: scratch-register correspondence between the two back ends.
+_SCRATCH_PAIRS = [("r0", REG_NAMES[EAX]), ("r1", REG_NAMES[EDX])]
+
+
+@dataclass
+class Verdict:
+    ok: bool
+    proved: bool              # True when every check closed by normalization
+    reason: str = ""
+
+
+def verify(candidate: CandidateRule) -> Verdict:
+    guest_init = {}
+    host_init = {}
+    for var, guest_reg in candidate.guest_vars.items():
+        symbol = Sym(var)
+        guest_init[guest_reg] = symbol
+        host_init[REG_NAMES[candidate.host_vars[var]]] = symbol
+    for guest_scratch, host_scratch in _SCRATCH_PAIRS:
+        symbol = Sym(f"scratch_{guest_scratch}")
+        guest_init.setdefault(guest_scratch, symbol)
+        host_init.setdefault(host_scratch, symbol)
+
+    try:
+        guest_state = ArmSymExec(guest_init).execute(candidate.guest)
+        host_state = X86SymExec(host_init).execute(candidate.host)
+    except RuleVerificationError as exc:
+        return Verdict(False, False, f"unmodelled: {exc}")
+
+    proved_all = True
+
+    # Variable home registers.
+    for var, guest_reg in candidate.guest_vars.items():
+        host_reg = REG_NAMES[candidate.host_vars[var]]
+        guest_value = guest_state.regs.get(guest_reg, Sym(var))
+        host_value = host_state.regs.get(host_reg, Sym(var))
+        ok, proved = equivalent(guest_value, host_value)
+        if not ok:
+            return Verdict(False, False, f"variable {var} differs")
+        proved_all &= proved
+
+    # Scratch registers are dead at statement boundaries; the only
+    # observable one is the return-value location (r0 <-> eax) in
+    # fragments that jump to the epilogue.
+    if guest_state.jumps and host_state.jumps and \
+            guest_state.branch is None:
+        guest_value = guest_state.regs.get("r0")
+        host_value = host_state.regs.get(REG_NAMES[EAX])
+        if (guest_value is None) != (host_value is None):
+            return Verdict(False, False, "return value on one side only")
+        if guest_value is not None:
+            ok, proved = equivalent(guest_value, host_value)
+            if not ok:
+                return Verdict(False, False, "return values differ")
+            proved_all &= proved
+
+    # Stores.
+    if len(guest_state.stores) != len(host_state.stores):
+        return Verdict(False, False, "store counts differ")
+    for (guest_addr, guest_size, guest_value), \
+            (host_addr, host_size, host_value) in \
+            zip(guest_state.stores, host_state.stores):
+        if guest_size != host_size:
+            return Verdict(False, False, "store sizes differ")
+        ok, proved = equivalent(guest_addr, host_addr)
+        if not ok:
+            return Verdict(False, False, "store addresses differ")
+        proved_all &= proved
+        ok, proved = equivalent(guest_value, host_value)
+        if not ok:
+            return Verdict(False, False, "store values differ")
+        proved_all &= proved
+
+    # Branches.
+    if (guest_state.branch is None) != (host_state.branch is None):
+        return Verdict(False, False, "branch structure differs")
+    if guest_state.branch is not None:
+        guest_cond, guest_lhs, guest_rhs = guest_state.branch
+        host_cond, host_lhs, host_rhs = host_state.branch
+        if guest_cond != host_cond:
+            return Verdict(False, False,
+                           f"conditions differ: {guest_cond} vs {host_cond}")
+        for a, b in ((guest_lhs, host_lhs), (guest_rhs, host_rhs)):
+            ok, proved = equivalent(a, b)
+            if not ok:
+                return Verdict(False, False, "branch operands differ")
+            proved_all &= proved
+    if guest_state.jumps != host_state.jumps:
+        return Verdict(False, False, "jump structure differs")
+
+    return Verdict(True, proved_all)

@@ -1,0 +1,382 @@
+"""The machine: board wiring, the cpu_exec loop, and execution engines.
+
+One :class:`Machine` owns the guest CPU, physical memory and devices, the
+softmmu, the host-side state (env, TLB bytes, host CPU/memory/interpreter)
+and a pluggable *execution engine*:
+
+- :class:`InterpEngine` — the reference ARM interpreter (architectural
+  ground truth; also the "native execution" cost baseline for Fig 18),
+- :class:`TcgEngine` — the MiniQEMU baseline (ARM -> IR -> x86),
+- ``repro.core.RuleEngine`` — the paper's rule-based translator, which
+  plugs into the same socket.
+
+The physical memory map::
+
+    0x0000_0000  RAM (default 8 MiB)
+    0x1000_0000  UART
+    0x1001_0000  timer
+    0x1002_0000  interrupt controller
+    0x1003_0000  block device
+    0x1004_0000  NIC
+    0x100F_0000  system controller (guest-initiated shutdown)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..common.costmodel import COST_TB_LOOKUP, COST_TRANSLATE_PER_INSN
+from ..common.errors import (DecodingError, GuestHalt, MemoryFault,
+                             ReproError, TranslationError)
+from ..devices.blockdev import BlockDevice
+from ..devices.intc import InterruptController
+from ..devices.nic import Nic
+from ..devices.syscon import SystemController
+from ..devices.timer import Timer
+from ..devices.uart import Uart
+from ..guest.cpu import GuestCpu, MODE_IRQ, MODE_USR, VECTOR_IRQ
+from ..guest.decoder import decode
+from ..guest.interp import Interpreter
+from ..guest.isa import PC
+from ..host.cpu import HostCpu
+from ..host.interp import HostInterpreter
+from ..host.isa import ENV_REG
+from ..host.memory import HostMemory
+from ..softmmu.bus import GuestBus
+from ..softmmu.memory import PhysicalMemoryMap
+from ..softmmu.pagetable import PageWalker
+from ..softmmu.tlb import MMU_IDX_KERNEL, MMU_IDX_USER, SoftTlb
+from .backend import TcgBackend
+from .env import (ENV_BASE, ENV_IRQ, RAM_HOST_BASE, STACK_BASE, STACK_SIZE,
+                  TLB_BASE, Env, env_reg)
+from .frontend import TcgFrontend
+from .helpers import QemuRuntime
+from .tb import (EXIT_EXCEPTION, EXIT_HALT, EXIT_INTERRUPT, EXIT_PC_UPDATED,
+                 MAX_TB_INSNS, CodeCache, TbExitException, TranslationBlock)
+
+UART_BASE = 0x10000000
+TIMER_BASE = 0x10010000
+INTC_BASE = 0x10020000
+BLOCK_BASE = 0x10030000
+NIC_BASE = 0x10040000
+SYSCON_BASE = 0x100F0000
+
+DEFAULT_RAM_SIZE = 8 * 1024 * 1024
+
+
+class Machine:
+    """A full guest system plus the host-side DBT state."""
+
+    def __init__(self, ram_size: int = DEFAULT_RAM_SIZE,
+                 engine: str = "tcg", rule_engine_factory=None):
+        # Guest side.
+        self.cpu = GuestCpu()
+        self.memory = PhysicalMemoryMap()
+        self.ram = self.memory.add_ram(0, ram_size)
+        self.tlb = SoftTlb(RAM_HOST_BASE)
+        self.bus = GuestBus(self.cpu, self.memory, self.tlb)
+
+        # Devices.
+        self.intc = InterruptController(self.cpu)
+        self.uart = Uart(self)
+        self.timer = Timer(self.intc)
+        self.blockdev = BlockDevice(self.intc, self.memory, self)
+        self.nic = Nic(self.intc, self)
+        self.syscon = SystemController()
+        self.memory.add_device(UART_BASE, 0x1000, self.uart, "uart")
+        self.memory.add_device(TIMER_BASE, 0x1000, self.timer, "timer")
+        self.memory.add_device(INTC_BASE, 0x1000, self.intc, "intc")
+        self.memory.add_device(BLOCK_BASE, 0x1000, self.blockdev, "block")
+        self.memory.add_device(NIC_BASE, 0x1000, self.nic, "nic")
+        self.memory.add_device(SYSCON_BASE, 0x1000, self.syscon, "syscon")
+
+        # Host side.
+        self.env = Env()
+        self.host_memory = HostMemory()
+        self.host_memory.map_region(ENV_BASE, self.env.data, "env")
+        self.host_memory.map_region(TLB_BASE, self.tlb.data, "tlb")
+        self._stack = bytearray(STACK_SIZE)
+        self.host_memory.map_region(STACK_BASE, self._stack, "stack")
+        self.host_memory.map_region(RAM_HOST_BASE, self.ram.data, "ram")
+        self.host_cpu = HostCpu(stack_top=STACK_BASE + STACK_SIZE)
+        self.host_cpu.regs[ENV_REG] = ENV_BASE
+        self.host = HostInterpreter(self.host_cpu, self.host_memory)
+        self.runtime = QemuRuntime(self.cpu, self.env, self.memory, self.tlb,
+                                   PageWalker(self.memory), self)
+        self.runtime.host = self.host
+        self.host.runtime = self.runtime
+
+        # Execution engine.
+        if engine == "interp":
+            self.engine = InterpEngine(self)
+        elif engine == "tcg":
+            self.engine = TcgEngine(self)
+        elif engine == "rules":
+            if rule_engine_factory is None:
+                raise ValueError("rules engine requires a factory "
+                                 "(use repro.core.make_rule_engine)")
+            self.engine = rule_engine_factory(self)
+        else:
+            raise ValueError(f"unknown engine {engine!r}")
+
+        # Statistics.
+        self.guest_icount = 0        # guest instructions executed
+        self.io_cost = 0             # modelled device time
+        self.exit_code: Optional[int] = None
+        self.irq_delivered = 0
+
+    # -- device plumbing -----------------------------------------------------
+
+    def charge_io(self, amount: int) -> None:
+        """Charge modelled device latency (kept out of CPU cost)."""
+        self.io_cost += amount
+
+    def advance_time(self, guest_insns: int) -> None:
+        self.guest_icount += guest_insns
+        self.timer.advance(guest_insns)
+        self.runtime.update_irq()
+
+    # -- program loading --------------------------------------------------------
+
+    def load_program(self, program, entry: Optional[int] = None) -> None:
+        self.memory.load_program(program)
+        start = entry if entry is not None else program.entry()
+        self.cpu.regs[PC] = start
+        self.env.load_from_cpu(self.cpu)
+
+    # -- running -------------------------------------------------------------------
+
+    def run(self, max_guest_insns: int = 50_000_000) -> int:
+        """Run until the guest halts; returns the exit code."""
+        try:
+            self.engine.run(max_guest_insns)
+        except GuestHalt as halt:
+            self.exit_code = halt.exit_code
+            return halt.exit_code
+        raise ReproError(
+            f"guest did not halt within {max_guest_insns} instructions")
+
+    # -- metrics ----------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, float]:
+        base = {
+            "guest_icount": self.guest_icount,
+            "io_cost": self.io_cost,
+            "irq_delivered": self.irq_delivered,
+            "tlb_fills": self.tlb.fill_count,
+        }
+        base.update(self.engine.stats())
+        return base
+
+
+class InterpEngine:
+    """Reference engine: the pure ARM interpreter (native-cost baseline)."""
+
+    name = "interp"
+
+    def __init__(self, machine: Machine):
+        self.machine = machine
+        self.interp = Interpreter(machine.cpu, machine.bus)
+
+    def run(self, max_guest_insns: int) -> None:
+        machine = self.machine
+        cpu = machine.cpu
+        interp = self.interp
+        # Chunked stepping so devices advance deterministically.
+        while interp.icount < max_guest_insns:
+            before = interp.icount
+            interp.step()
+            machine.advance_time(max(interp.icount - before, 1))
+            if cpu.halted and not cpu.irq_line:
+                self._fast_forward_halt()
+
+    def _fast_forward_halt(self) -> None:
+        machine = self.machine
+        if not machine.timer.enabled or machine.timer.reload == 0:
+            raise ReproError("guest halted with no wakeup source (wfi)")
+        while machine.cpu.halted and not machine.cpu.irq_line:
+            machine.advance_time(max(machine.timer.value, 1))
+
+    def stats(self) -> Dict[str, float]:
+        return {"engine": 0.0, "host_cost": float(self.interp.icount),
+                "host_instructions": float(self.interp.icount)}
+
+
+class DbtEngineBase:
+    """Shared cpu_exec loop for the TCG and rule-based engines."""
+
+    name = "dbt"
+
+    def __init__(self, machine: Machine):
+        self.machine = machine
+        self.cache = CodeCache()
+        self.translation_cost = 0
+        machine.host.on_tb_enter = self._on_tb_enter  # set below via attr
+
+    # Each engine provides: translate(pc, mmu_idx) -> TranslationBlock.
+
+    def translate(self, pc: int, mmu_idx: int) -> TranslationBlock:
+        raise NotImplementedError
+
+    # -- helpers ----------------------------------------------------------------
+
+    def mmu_idx(self) -> int:
+        return MMU_IDX_USER if self.machine.cpu.mode == MODE_USR \
+            else MMU_IDX_KERNEL
+
+    def fetch_block(self, pc: int):
+        """Read a guest basic block's instructions at translation time."""
+        machine = self.machine
+        insns = []
+        addr = pc
+        while len(insns) < MAX_TB_INSNS:
+            try:
+                word = machine.bus.fetch(addr)
+            except MemoryFault:
+                if insns:
+                    break
+                raise
+            try:
+                insn = decode(word, addr)
+            except DecodingError:
+                # Ran into data (e.g. a literal pool): end the block; a
+                # first-instruction failure is a genuine guest undef.
+                if insns:
+                    break
+                raise
+            insns.append(insn)
+            if insn.writes_pc() or insn.is_system() or \
+                    insn.op.name in ("SVC", "WFI"):
+                break
+            addr += 4
+        return insns
+
+    def get_tb(self, pc: int, mmu_idx: int) -> TranslationBlock:
+        tb = self.cache.lookup(pc, mmu_idx)
+        if tb is None:
+            tb = self.translate(pc, mmu_idx)
+            self.cache.insert(tb)
+            cost = COST_TRANSLATE_PER_INSN * tb.guest_insn_count
+            self.machine.host.charge(cost, "translate")
+            self.translation_cost += cost
+        return tb
+
+    # -- the cpu_exec loop -----------------------------------------------------------
+
+    def run(self, max_guest_insns: int) -> None:
+        machine = self.machine
+        host = machine.host
+        runtime = machine.runtime
+        while machine.guest_icount < max_guest_insns:
+            # Deliver a pending interrupt at the loop head (QEMU does the
+            # same before entering the code cache).
+            if machine.env.read(ENV_IRQ):
+                runtime.deliver_exception(MODE_IRQ, VECTOR_IRQ,
+                                          machine.env.pc + 4)
+                machine.irq_delivered += 1
+            pc = machine.env.pc
+            try:
+                tb = self.get_tb(pc, self.mmu_idx())
+            except MemoryFault:
+                # Translation-time fetch fault: a guest prefetch abort.
+                from ..guest.cpu import MODE_ABT, VECTOR_PREFETCH_ABORT
+                runtime.deliver_exception(MODE_ABT, VECTOR_PREFETCH_ABORT,
+                                          pc + 4)
+                continue
+            except DecodingError:
+                # The guest jumped into undecodable bytes: undef.
+                from ..guest.cpu import MODE_UND, VECTOR_UNDEF
+                runtime.deliver_exception(MODE_UND, VECTOR_UNDEF, pc + 4)
+                continue
+            host.charge(COST_TB_LOOKUP, "runtime")
+            self._before_execute(tb)
+            try:
+                exit_info = host.execute(tb)
+            except TbExitException:
+                continue  # helper delivered an exception; env.pc updated
+            status = exit_info.status
+            if exit_info.chain is not None and status == EXIT_PC_UPDATED:
+                self._chain(*exit_info.chain)
+            if status in (EXIT_PC_UPDATED, EXIT_INTERRUPT, EXIT_EXCEPTION):
+                continue
+            if status == EXIT_HALT:
+                self._fast_forward_halt()
+                continue
+            raise ReproError(f"unexpected TB exit status {status}")
+
+    def _before_execute(self, tb: TranslationBlock) -> None:
+        """Pre-charge guest time for the first TB of an execute() call."""
+        self._on_tb_enter(tb)
+
+    def _on_tb_enter(self, tb: TranslationBlock) -> None:
+        tb.exec_count += 1
+        self.machine.advance_time(tb.guest_insn_count)
+
+    def _chain(self, tb: TranslationBlock, slot: int) -> None:
+        """Patch a goto_tb slot (block chaining)."""
+        machine = self.machine
+        target_pc = machine.env.pc  # the exit stub stored it
+        if tb.jmp_pc[slot] is not None and tb.jmp_pc[slot] == target_pc:
+            next_tb = self.cache.lookup(target_pc, self.mmu_idx())
+            if next_tb is None:
+                next_tb = self.get_tb(target_pc, self.mmu_idx())
+            tb.jmp_target[slot] = next_tb
+
+    def _fast_forward_halt(self) -> None:
+        machine = self.machine
+        if not machine.timer.enabled or machine.timer.reload == 0:
+            raise ReproError("guest halted with no wakeup source (wfi)")
+        while not machine.env.read(ENV_IRQ):
+            machine.advance_time(max(machine.timer.value, 1))
+            if not machine.cpu.irq_line and not machine.timer.enabled:
+                raise ReproError("halted guest cannot wake up")
+
+    # -- statistics -------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, float]:
+        host = self.machine.host
+        memory_dyn = system_dyn = check_dyn = 0
+        for tb in self.cache.all_tbs():
+            weight = tb.exec_count
+            memory_dyn += weight * tb.meta.get("n_memory", 0)
+            system_dyn += weight * tb.meta.get("n_system", 0)
+            check_dyn += weight
+        return {
+            "host_instructions": float(host.total),
+            "host_cost": float(host.cost),
+            "translation_cost": float(self.translation_cost),
+            "tb_count": float(len(self.cache)),
+            "static_guest_insns": float(self.cache.translated_guest_insns),
+            "static_host_insns": float(self.cache.translated_host_insns),
+            "memory_insns_dyn": float(memory_dyn),
+            "system_insns_dyn": float(system_dyn),
+            "interrupt_checks_dyn": float(check_dyn),
+            **{f"tag_{tag}": float(count)
+               for tag, count in host.by_tag.items()},
+        }
+
+
+class TcgEngine(DbtEngineBase):
+    """The MiniQEMU baseline: ARM -> TCG IR -> x86."""
+
+    name = "tcg"
+
+    def translate(self, pc: int, mmu_idx: int) -> TranslationBlock:
+        from ..ir.opt import optimize
+
+        insns = self.fetch_block(pc)
+        frontend = TcgFrontend(mmu_idx)
+        ir_insns, jmp_pcs = frontend.translate(pc, insns)
+        ir_insns = optimize(ir_insns)
+        backend = TcgBackend(mmu_idx)
+        code = backend.lower(ir_insns)
+        tb = TranslationBlock(pc=pc, mmu_idx=mmu_idx, guest_insns=insns,
+                              code=code)
+        tb.jmp_pc = list(jmp_pcs)
+        from ..guest.isa import Op
+        tb.meta = {
+            "n_memory": sum(1 for insn in insns if insn.is_memory()),
+            "n_system": sum(1 for insn in insns
+                            if insn.is_system() or insn.op is Op.SVC),
+        }
+        return tb

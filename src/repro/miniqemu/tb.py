@@ -1,0 +1,81 @@
+"""Translation blocks and the code cache.
+
+A TB is one guest basic block translated to host code; the code cache
+maps ``(guest pc, mmu_idx)`` to a TB.  Block chaining works as in QEMU:
+each TB has two ``GOTO_TB`` slots that the cpu_exec loop patches to point
+directly at the successor TB once it is translated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..guest.isa import ArmInsn
+
+# TB exit statuses (the EXIT_TB immediate).
+EXIT_PC_UPDATED = 0   # env.pc holds the next guest pc
+EXIT_INTERRUPT = 1    # the TB-entry (or scheduled) interrupt check fired
+EXIT_HALT = 2         # wfi executed
+EXIT_EXCEPTION = 3    # a helper delivered an exception; env.pc is the vector
+
+#: Maximum guest instructions per TB (QEMU caps TBs similarly).
+MAX_TB_INSNS = 32
+
+
+@dataclass
+class TranslationBlock:
+    pc: int
+    mmu_idx: int
+    guest_insns: List[ArmInsn] = field(default_factory=list)
+    code: List = field(default_factory=list)      # host X86Insn list
+    jmp_target: List[Optional["TranslationBlock"]] = \
+        field(default_factory=lambda: [None, None])
+    #: guest pc each GOTO_TB slot leads to (for chaining lookups)
+    jmp_pc: List[Optional[int]] = field(default_factory=lambda: [None, None])
+    exec_count: int = 0
+    #: engine-specific metadata (static coordination counts, analysis, ...)
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def guest_insn_count(self) -> int:
+        return len(self.guest_insns)
+
+    def __repr__(self) -> str:
+        return (f"<TB 0x{self.pc:08x} mmu{self.mmu_idx} "
+                f"{self.guest_insn_count} guest insns, "
+                f"{len(self.code)} host insns>")
+
+
+class CodeCache:
+    """The translated-code cache, keyed by (guest pc, mmu_idx)."""
+
+    def __init__(self):
+        self._tbs: Dict[Tuple[int, int], TranslationBlock] = {}
+        self.translated_guest_insns = 0   # static translation statistics
+        self.translated_host_insns = 0
+
+    def lookup(self, pc: int, mmu_idx: int) -> Optional[TranslationBlock]:
+        return self._tbs.get((pc, mmu_idx))
+
+    def insert(self, tb: TranslationBlock) -> None:
+        self._tbs[(tb.pc, tb.mmu_idx)] = tb
+        self.translated_guest_insns += tb.guest_insn_count
+        self.translated_host_insns += len(tb.code)
+
+    def flush(self) -> None:
+        self._tbs.clear()
+
+    def __len__(self) -> int:
+        return len(self._tbs)
+
+    def all_tbs(self):
+        return self._tbs.values()
+
+
+class TbExitException(Exception):
+    """Raised by helpers to unwind out of TB execution (QEMU's longjmp)."""
+
+    def __init__(self, status: int = EXIT_EXCEPTION):
+        self.status = status
+        super().__init__(f"tb exit {status}")

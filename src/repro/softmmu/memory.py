@@ -1,0 +1,116 @@
+"""Guest physical memory: RAM regions and MMIO dispatch.
+
+The machine owns one :class:`PhysicalMemoryMap`; both execution engines and
+the DMA-capable devices access guest physical memory through it.  RAM is a
+plain ``bytearray`` (little-endian, byte-addressed); device regions forward
+to the device model's ``mmio_read``/``mmio_write``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..common.bitops import u32
+from ..common.errors import BusError
+
+
+class RamRegion:
+    """A block of guest RAM at a fixed physical base address."""
+
+    def __init__(self, base: int, size: int, name: str = "ram"):
+        self.base = base
+        self.size = size
+        self.name = name
+        self.data = bytearray(size)
+        self.is_ram = True
+
+    def read(self, offset: int, size: int) -> int:
+        return int.from_bytes(self.data[offset:offset + size], "little")
+
+    def write(self, offset: int, size: int, value: int) -> None:
+        self.data[offset:offset + size] = (value & ((1 << (8 * size)) - 1)) \
+            .to_bytes(size, "little")
+
+
+class MmioRegion:
+    """A device-backed region; accesses call into the device model."""
+
+    def __init__(self, base: int, size: int, device, name: str):
+        self.base = base
+        self.size = size
+        self.device = device
+        self.name = name
+        self.is_ram = False
+
+    def read(self, offset: int, size: int) -> int:
+        return u32(self.device.mmio_read(offset, size))
+
+    def write(self, offset: int, size: int, value: int) -> None:
+        self.device.mmio_write(offset, size, value)
+
+
+class PhysicalMemoryMap:
+    """The guest physical address space: sorted, non-overlapping regions."""
+
+    def __init__(self):
+        self._regions: List = []
+
+    def add_ram(self, base: int, size: int, name: str = "ram") -> RamRegion:
+        region = RamRegion(base, size, name)
+        self._insert(region)
+        return region
+
+    def add_device(self, base: int, size: int, device, name: str) -> None:
+        self._insert(MmioRegion(base, size, device, name))
+
+    def _insert(self, region) -> None:
+        for existing in self._regions:
+            if (region.base < existing.base + existing.size and
+                    existing.base < region.base + region.size):
+                raise ValueError(
+                    f"region {region.name} overlaps {existing.name}")
+        self._regions.append(region)
+        self._regions.sort(key=lambda r: r.base)
+
+    def find(self, paddr: int):
+        """Return the region containing *paddr*, or None."""
+        for region in self._regions:
+            if region.base <= paddr < region.base + region.size:
+                return region
+        return None
+
+    def region_for(self, paddr: int):
+        region = self.find(paddr)
+        if region is None:
+            raise BusError(paddr)
+        return region
+
+    # -- scalar access -------------------------------------------------------
+
+    def read(self, paddr: int, size: int) -> int:
+        region = self.region_for(paddr)
+        return region.read(paddr - region.base, size)
+
+    def write(self, paddr: int, size: int, value: int) -> None:
+        region = self.region_for(paddr)
+        region.write(paddr - region.base, size, value)
+
+    # -- bulk access (program loading, DMA) -----------------------------------
+
+    def read_bytes(self, paddr: int, length: int) -> bytes:
+        region = self.region_for(paddr)
+        if not region.is_ram:
+            raise BusError(paddr)
+        offset = paddr - region.base
+        return bytes(region.data[offset:offset + length])
+
+    def write_bytes(self, paddr: int, data: bytes) -> None:
+        region = self.region_for(paddr)
+        if not region.is_ram:
+            raise BusError(paddr)
+        offset = paddr - region.base
+        region.data[offset:offset + len(data)] = data
+
+    def load_program(self, program) -> None:
+        """Copy an assembled :class:`~repro.guest.asm.Program` into RAM."""
+        self.write_bytes(program.base, bytes(program.data))

@@ -1,0 +1,11 @@
+"""Guest workloads: SPEC CINT/CFP analogs and real-world analogs."""
+
+from .realworld import REALWORLD_WORKLOADS
+from .spec import SPEC_WORKLOADS, Workload
+from .specfp import SPECFP_WORKLOADS
+
+ALL_WORKLOADS = {**SPEC_WORKLOADS, **SPECFP_WORKLOADS,
+                 **REALWORLD_WORKLOADS}
+
+__all__ = ["ALL_WORKLOADS", "REALWORLD_WORKLOADS", "SPECFP_WORKLOADS",
+           "SPEC_WORKLOADS", "Workload"]

@@ -1,0 +1,373 @@
+"""Real-world application analogs (paper Sec IV-E, Fig 19).
+
+Five workloads mirroring the paper's set: *memcached* (a network
+key-value server driven through the NIC model), *sqlite* (a row store
+with a sorted index and binary-search lookups), *fileIO* (block-device
+read/write sweeps), *untar* (archive extraction from a disk image) and
+*cpu-prime* (a sieve).  The I/O-bound ones spend most of their modelled
+time in device costs (:mod:`repro.common.costmodel`), which is what caps
+their speedup in Fig 19 exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List
+
+from .spec import Workload
+
+# ---------------------------------------------------------------------------
+# memcached: binary protocol over the NIC.  Request: [op, key, lo, hi]
+# (op 'S' = set key to the 16-bit value, 'G' = get).  Response: one byte
+# status + one byte value-low for GETs.
+# ---------------------------------------------------------------------------
+
+
+def _memcached_packets(count: int = 80) -> List[bytes]:
+    packets = []
+    state = 12345
+    for index in range(count):
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        key = state & 0x3F
+        if index % 3 != 2:
+            value = (state >> 8) & 0xFFFF
+            packets.append(bytes([ord("S"), key, value & 0xFF,
+                                  (value >> 8) & 0xFF]))
+        else:
+            packets.append(bytes([ord("G"), key, 0, 0]))
+    return packets
+
+
+MEMCACHED = Workload("memcached", category="realworld",
+                     nic_packets=_memcached_packets(), body=r"""
+main:
+    ldr r4, =USER_HEAP          @ value table: 64 words
+serve:
+    bl unrxlen
+    cmp r0, #0
+    beq shutdown
+    bl unrxbyte                 @ op
+    mov r8, r0
+    bl unrxbyte                 @ key
+    mov r9, r0
+    bl unrxbyte                 @ value low
+    mov r10, r0
+    bl unrxbyte                 @ value high
+    orr r10, r10, r0, lsl #8
+    bl unrxdone
+    cmp r8, #'S'
+    bne handle_get
+    @ SET: hash-bucket store with a tiny "LRU" counter in the upper bits
+    str r10, [r4, r9, lsl #2]
+    mov r0, #'O'
+    bl untxbyte
+    bl untxsend
+    b serve
+handle_get:
+    ldr r0, [r4, r9, lsl #2]
+    and r1, r0, #0xFF
+    mov r0, #'V'
+    bl untxbyte
+    mov r0, r1
+    bl untxbyte
+    bl untxsend
+    b serve
+shutdown:
+    @ checksum the table so the work is observable
+    mov r0, #0
+    mov r1, #0
+sumtab:
+    ldr r2, [r4, r1, lsl #2]
+    add r0, r0, r2
+    add r1, r1, #1
+    cmp r1, #64
+    blt sumtab
+    bl updec
+    mov r0, #0
+    bl uexit
+""")
+
+
+# ---------------------------------------------------------------------------
+# sqlite: insert rows into a heap file + sorted key index, then run
+# binary-search lookups ("SELECT") and checksum the matches.
+# ---------------------------------------------------------------------------
+
+SQLITE = Workload("sqlite", category="realworld", body=r"""
+main:
+    ldr r4, =USER_HEAP          @ index: sorted (key, rowid) pairs
+    ldr r5, =USER_HEAP + 0x4000 @ heap file: rows of 4 words
+    ldr r8, =0x2545F            @ rng
+    mov r9, #0                  @ row count
+insert:
+    @ next key
+    eor r8, r8, r8, lsl #13
+    eor r8, r8, r8, lsr #17
+    eor r8, r8, r8, lsl #5
+    bic r6, r8, #0xFF000000     @ key
+    mov r6, r6, lsr #8
+    @ append the row to the heap file
+    add r0, r5, r9, lsl #4
+    str r6, [r0]                @ key
+    str r9, [r0, #4]            @ rowid
+    eor r1, r6, r9
+    str r1, [r0, #8]            @ payload
+    add r1, r1, r6
+    str r1, [r0, #12]
+    @ insertion-sort the key into the index
+    mov r1, r9                  @ slot
+shift:
+    cmp r1, #0
+    beq place
+    sub r2, r1, #1
+    add r3, r4, r2, lsl #3
+    ldr r0, [r3]                @ index[slot-1].key
+    cmp r0, r6
+    bls place
+    ldr r12, [r3, #4]
+    add r2, r4, r1, lsl #3
+    str r0, [r2]
+    str r12, [r2, #4]
+    sub r1, r1, #1
+    b shift
+place:
+    add r2, r4, r1, lsl #3
+    str r6, [r2]
+    str r9, [r2, #4]
+    add r9, r9, #1
+    cmp r9, #96
+    blt insert
+
+    @ SELECT phase: 256 binary-search probes
+    ldr r8, =0x2545F
+    mov r10, #0                 @ match checksum
+    mov r11, #0                 @ query count
+select:
+    eor r8, r8, r8, lsl #13
+    eor r8, r8, r8, lsr #17
+    eor r8, r8, r8, lsl #5
+    bic r6, r8, #0xFF000000
+    mov r6, r6, lsr #8          @ probe key (hits for early queries)
+    mov r0, #0                  @ lo
+    mov r1, #96                 @ hi
+bsearch:
+    cmp r0, r1
+    bge miss
+    add r2, r0, r1
+    mov r2, r2, lsr #1          @ mid
+    add r3, r4, r2, lsl #3
+    ldr r12, [r3]               @ index[mid].key
+    cmp r12, r6
+    beq hit
+    addlo r0, r2, #1            @ key < probe: go right
+    movhs r1, r2                @ key > probe: go left
+    b bsearch
+hit:
+    ldr r0, [r3, #4]            @ rowid
+    add r1, r5, r0, lsl #4
+    ldr r2, [r1, #8]            @ payload
+    add r10, r10, r2
+    b nextq
+miss:
+    add r10, r10, #1
+nextq:
+    add r11, r11, #1
+    ldr r0, =256
+    cmp r11, r0
+    blt select
+
+    mov r0, r10
+    bl updec
+    mov r0, #0
+    bl uexit
+""")
+
+
+# ---------------------------------------------------------------------------
+# fileIO: write a pattern to 48 sectors through the block device, read it
+# back, verify + checksum.  Dominated by modelled disk time.
+# ---------------------------------------------------------------------------
+
+FILEIO = Workload("fileio", category="realworld", body=r"""
+main:
+    ldr r4, =USER_HEAP          @ 512-byte DMA buffer
+    @ fill the buffer once (fileIO benchmarks write a fixed pattern)
+    mov r0, #0
+wfill:
+    eor r1, r0, r0, lsr #3
+    and r1, r1, #0xFF
+    strb r1, [r4, r0]
+    add r0, r0, #1
+    cmp r0, #512
+    blt wfill
+    mov r9, #0                  @ sector
+wloop:
+    str r9, [r4]                @ tag the sector in the first word
+    mov r0, r9
+    mov r1, r4
+    bl ubwrite
+    add r9, r9, #1
+    cmp r9, #48
+    blt wloop
+
+    mov r9, #0
+    mov r10, #0                 @ checksum
+rloop:
+    mov r0, r9
+    mov r1, r4
+    bl ubread
+    mov r0, #0
+rsum:
+    ldrb r1, [r4, r0]
+    add r10, r10, r1
+    add r0, r0, #4              @ sample every 4th byte
+    cmp r0, #512
+    blt rsum
+    add r9, r9, #1
+    cmp r9, #48
+    blt rloop
+
+    mov r0, r10
+    bl updec
+    mov r0, #0
+    bl uexit
+""")
+
+
+# ---------------------------------------------------------------------------
+# untar: extract a simple archive (16-byte name, 4-byte size, data,
+# 4-byte-aligned) from the disk image into memory.
+# ---------------------------------------------------------------------------
+
+
+def _make_archive() -> bytes:
+    files = []
+    state = 7
+    for index in range(10):
+        name = f"file{index:02d}.dat".encode().ljust(16, b"\0")
+        size = 300 + index * 130
+        data = bytearray()
+        for _ in range(size):
+            state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+            data.append(state & 0xFF)
+        files.append(name + struct.pack("<I", size) + bytes(data) +
+                     b"\0" * (-size % 4))
+    blob = b"".join(files) + b"\0" * 16  # terminator: empty name
+    return blob
+
+
+UNTAR = Workload("untar", category="realworld", disk_image=_make_archive(),
+                 body=r"""
+main:
+    ldr r4, =USER_HEAP          @ sector staging buffer (8 KiB window)
+    ldr r5, =USER_HEAP + 0x8000 @ extraction area
+    @ read the whole archive region (16 sectors) into memory first
+    mov r9, #0
+fetch:
+    mov r0, r9
+    add r1, r4, r9, lsl #9
+    bl ubread
+    add r9, r9, #1
+    cmp r9, #16
+    blt fetch
+
+    mov r6, #0                  @ archive offset
+    mov r10, #0                 @ checksum
+    mov r11, #0                 @ files extracted
+entry:
+    ldrb r0, [r4, r6]           @ first byte of the name
+    cmp r0, #0
+    beq done                    @ empty name: end of archive
+    @ checksum the name
+    mov r1, #0
+nameloop:
+    add r2, r4, r6
+    ldrb r3, [r2, r1]
+    add r10, r10, r3
+    add r1, r1, #1
+    cmp r1, #16
+    blt nameloop
+    add r6, r6, #16
+    @ size word
+    ldr r8, [r4, r6]
+    add r6, r6, #4
+    @ copy data to the extraction area + checksum
+    mov r1, #0
+copy:
+    ldrb r2, [r4, r6]
+    strb r2, [r5, r1]
+    add r10, r10, r2
+    add r6, r6, #1
+    add r1, r1, #1
+    cmp r1, r8
+    blt copy
+    @ align to 4
+    add r6, r6, #3
+    bic r6, r6, #3
+    add r5, r5, r8              @ bump extraction cursor
+    add r11, r11, #1
+    b entry
+done:
+    add r10, r10, r11, lsl #16
+    mov r0, r10
+    bl updec
+    mov r0, #0
+    bl uexit
+""")
+
+
+# ---------------------------------------------------------------------------
+# cpu-prime: sieve of Eratosthenes (pure CPU; best speedup in Fig 19).
+# ---------------------------------------------------------------------------
+
+CPU_PRIME = Workload("cpu-prime", category="realworld", body=r"""
+main:
+    ldr r4, =USER_HEAP          @ sieve bytes
+    ldr r5, =8192               @ limit
+    mov r0, #0
+clear:
+    mov r1, #0
+    strb r1, [r4, r0]
+    add r0, r0, #1
+    cmp r0, r5
+    blt clear
+
+    mov r6, #2                  @ candidate
+sieve:
+    ldrb r0, [r4, r6]
+    cmp r0, #0
+    bne composite
+    @ mark multiples
+    add r1, r6, r6
+mark:
+    cmp r1, r5
+    bge composite
+    mov r2, #1
+    strb r2, [r4, r1]
+    add r1, r1, r6
+    b mark
+composite:
+    add r6, r6, #1
+    cmp r6, r5
+    blt sieve
+
+    @ count primes
+    mov r0, #0
+    mov r1, #2
+count:
+    ldrb r2, [r4, r1]
+    cmp r2, #0
+    addeq r0, r0, #1
+    add r1, r1, #1
+    cmp r1, r5
+    blt count
+    bl updec                    @ pi(8192) = 1028
+    mov r0, #0
+    bl uexit
+""")
+
+
+REALWORLD_WORKLOADS: Dict[str, Workload] = {
+    workload.name: workload for workload in (
+        MEMCACHED, SQLITE, FILEIO, UNTAR, CPU_PRIME)
+}

@@ -1,0 +1,962 @@
+"""SPEC CINT2006 analog workloads.
+
+Twelve synthetic guest programs, one per benchmark in the paper's Table I.
+Each is a small but genuine implementation of the benchmark's
+characteristic algorithm (an interpreter dispatch loop for perlbench, RLE
+coding for bzip2, pointer chasing for mcf, ...), written in ARMv7
+assembly and sized so that its *dynamic instruction mix* — the fraction
+of memory accesses, the basic-block length (which sets the interrupt-
+check frequency), and the system-instruction rate — approximates the
+paper's measured distribution for that benchmark:
+
+    benchmark   sys%   mem%   irq-check%   character
+    perlbench   0.28   36.94  19.64        hash + bytecode dispatch
+    bzip2       0.28   40.03  14.24        run-length coding
+    gcc         2.48   29.90  20.11        token scan + symbol table,
+                                           syscall-heavy
+    mcf         0.45   41.19  20.53        linked-list pointer chasing
+    gobmk       0.25   30.58  17.53        board scanning
+    hmmer       0.09   47.98   5.18        DP inner loop, long blocks
+    sjeng       0.17   33.86  17.84        game-tree search (stack)
+    libquantum  0.09   23.36   9.19        bit-twiddling, ALU heavy
+    h264ref     0.13   55.21   9.15        SAD block matching
+    omnetpp     0.24   22.54  22.02        binary-heap event queue
+    astar       0.24   31.42  15.92        grid BFS
+    xalancbmk   0.34   23.81  25.94        tree walking, very branchy
+
+Every workload prints a deterministic checksum through the kernel's
+``updec`` syscall and exits 0, which the differential tests verify on
+every engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class Workload:
+    name: str
+    body: str
+    expected_output: Optional[str] = None
+    max_insns: int = 5_000_000
+    timer_reload: int = 5000
+    disk_image: Optional[bytes] = None
+    nic_packets: List[bytes] = field(default_factory=list)
+    category: str = "spec"
+
+
+PERLBENCH = Workload("perlbench", expected_output="3296224939\n", body=r"""
+main:
+    ldr r4, =USER_HEAP          @ bytecode buffer
+    mov r5, #0
+fill:                           @ synthesize a 512-op bytecode program
+    mul r0, r5, r5
+    add r0, r0, r5, lsr #3
+    and r0, r0, #7
+    strb r0, [r4, r5]
+    add r5, r5, #1
+    cmp r5, #512
+    blt fill
+
+    mov r8, #0                  @ accumulator (the "interpreter state")
+    ldr r10, =USER_HEAP + 0x2000 @ VM operand stack (grows up)
+    str r8, [r10]
+    str r8, [r10, #4]
+    mov r9, #0                  @ pass counter
+passes:
+    mov r5, #0                  @ program counter
+dispatch:
+    ldrb r0, [r4, r5]           @ fetch opcode
+    cmp r0, #0
+    beq op_add
+    cmp r0, #1
+    beq op_xor
+    cmp r0, #2
+    beq op_shift
+    cmp r0, #3
+    beq op_load
+    cmp r0, #4
+    beq op_store
+    cmp r0, #5
+    beq op_hash
+    cmp r0, #6
+    beq op_sub
+    b op_rot
+op_add:
+    ldr r1, [r10]               @ pop two, push sum (stack VM)
+    ldr r2, [r10, #4]
+    add r1, r1, r2
+    add r1, r1, r5
+    str r1, [r10]
+    add r8, r8, r1
+    b next
+op_xor:
+    ldr r1, [r10]
+    and r2, r5, #0x7F
+    ldrb r2, [r4, r2]
+    eor r1, r1, r2, lsl #2
+    str r1, [r10, #4]
+    add r8, r8, r1
+    b next
+op_shift:
+    ldr r1, [r10]
+    add r8, r8, r1, lsl #5
+    str r8, [r10]
+    and r1, r5, #0x3F
+    strb r8, [r4, r1]
+    b next
+op_load:
+    and r1, r5, #0xFF
+    ldrb r2, [r4, r1]
+    add r8, r8, r2
+    b next
+op_store:
+    and r1, r5, #0xFF
+    strb r8, [r4, r1]
+    b next
+op_hash:
+    eor r8, r8, r8, lsr #7
+    add r8, r8, #0x9000000
+    b next
+op_sub:
+    sub r8, r8, r5, lsr #1
+    b next
+op_rot:
+    add r8, r8, r8, ror #13
+next:
+    add r5, r5, #1
+    cmp r5, #512
+    blt dispatch
+    add r9, r9, #1
+    cmp r9, #10
+    blt passes
+
+    mov r0, r8
+    bl updec
+    mov r0, #0
+    bl uexit
+""")
+
+
+BZIP2 = Workload("bzip2", expected_output="11941904\n", body=r"""
+main:
+    ldr r4, =USER_HEAP          @ source buffer
+    ldr r5, =USER_HEAP + 0x4000 @ encoded buffer
+    ldr r6, =USER_HEAP + 0x8000 @ decoded buffer
+    mov r0, #0
+    ldr r1, =7
+genloop:                        @ generate compressible data (runs)
+    mul r2, r0, r1
+    mov r2, r2, lsr #4
+    and r2, r2, #15
+    strb r2, [r4, r0]
+    add r0, r0, #1
+    cmp r0, #2048
+    blt genloop
+
+    mov r9, #0                  @ passes
+encpass:
+    @ --- RLE encode r4[0..2048) -> r5, length in r10
+    mov r0, #0                  @ src index
+    mov r10, #0                 @ dst index
+encode:
+    ldrb r1, [r4, r0]           @ current byte
+    mov r2, #1                  @ run length
+runlen:
+    add r3, r0, r2
+    cmp r3, #2048
+    bge runout
+    ldrb r3, [r4, r3]
+    cmp r3, r1
+    bne runout
+    add r2, r2, #1
+    cmp r2, #255
+    blt runlen
+runout:
+    strb r1, [r5, r10]
+    add r10, r10, #1
+    strb r2, [r5, r10]
+    add r10, r10, #1
+    add r0, r0, r2
+    cmp r0, #2048
+    blt encode
+
+    @ --- decode r5[0..r10) -> r6
+    mov r0, #0                  @ src
+    mov r1, #0                  @ dst
+decode:
+    ldrb r2, [r5, r0]           @ byte
+    add r0, r0, #1
+    ldrb r3, [r5, r0]           @ count
+    add r0, r0, #1
+expand:
+    strb r2, [r6, r1]
+    add r1, r1, #1
+    subs r3, r3, #1
+    bne expand
+    cmp r0, r10
+    blt decode
+    add r9, r9, #1
+    cmp r9, #2
+    blt encpass
+
+    @ --- move-to-front transform over the decoded buffer (mem heavy)
+    ldr r11, =USER_HEAP + 0xC000 @ MTF symbol table (16 bytes)
+    mov r0, #0
+mtfinit:
+    strb r0, [r11, r0]
+    add r0, r0, #1
+    cmp r0, #16
+    blt mtfinit
+    mov r0, #0                  @ buffer index
+mtf:
+    ldrb r1, [r6, r0]           @ symbol
+    mov r2, #0                  @ search the table
+mtffind:
+    ldrb r3, [r11, r2]
+    cmp r3, r1
+    beq mtfhit
+    add r2, r2, #1
+    cmp r2, #16
+    blt mtffind
+mtfhit:
+    strb r2, [r6, r0]           @ replace symbol with its rank
+mtfshift:                       @ move the symbol to the front
+    cmp r2, #0
+    beq mtfdone
+    sub r3, r2, #1
+    ldrb r12, [r11, r3]
+    strb r12, [r11, r2]
+    sub r2, r2, #1
+    b mtfshift
+mtfdone:
+    strb r1, [r11]
+    add r0, r0, #1
+    ldr r3, =1024
+    cmp r0, r3
+    blt mtf
+
+    @ --- checksum decoded buffer + encoded length
+    mov r0, #0
+    mov r1, #0
+cksum:
+    ldrb r2, [r6, r1]
+    add r0, r0, r2
+    add r0, r0, r0, lsl #3
+    bic r0, r0, #0xFF000000
+    add r1, r1, #1
+    cmp r1, #2048
+    blt cksum
+    add r0, r0, r10
+    bl updec
+    mov r0, #0
+    bl uexit
+""")
+
+
+GCC = Workload("gcc", expected_output="482304\n", body=r"""
+main:
+    ldr r4, =USER_HEAP          @ "source text"
+    mov r0, #0
+srcgen:
+    mul r1, r0, r0
+    add r1, r1, r0, lsl #1
+    and r1, r1, #63
+    add r1, r1, #32             @ printable-ish token bytes
+    strb r1, [r4, r0]
+    add r0, r0, #1
+    cmp r0, #1024
+    blt srcgen
+
+    ldr r5, =USER_HEAP + 0x8000 @ symbol table: 256 slots of 8 bytes
+    mov r8, #0                  @ checksum
+    mov r9, #0                  @ outer passes (each ends in a syscall)
+compile:
+    mov r6, #0                  @ scan index
+scan:
+    ldrb r0, [r4, r6]
+    @ classify: "identifier" if >= 64, else "operator"
+    cmp r0, #64
+    blt operator
+    @ hash insert: h = (byte*31 + index) & 255
+    mov r1, #31
+    mul r2, r0, r1
+    add r2, r2, r6
+    and r2, r2, #255
+probe:
+    ldr r3, [r5, r2, lsl #3]    @ slot key
+    cmp r3, #0
+    beq insert
+    cmp r3, r0
+    beq found
+    add r2, r2, #1
+    and r2, r2, #255
+    b probe
+insert:
+    str r0, [r5, r2, lsl #3]
+found:
+    add r12, r5, r2, lsl #3
+    ldr r3, [r12, #4]
+    add r3, r3, #1
+    str r3, [r12, #4]           @ bump occurrence count
+    add r8, r8, r2
+    b advance
+operator:
+    add r8, r8, r0, lsl #1
+advance:
+    add r6, r6, #1
+    tst r6, #7
+    bleq uticks                 @ "emit object code" (frequent syscalls)
+    cmp r6, #192
+    blt scan
+    bl uticks
+    add r9, r9, #1
+    cmp r9, #24
+    blt compile
+
+    mov r0, r8
+    bl updec
+    mov r0, #0
+    bl uexit
+""")
+
+
+MCF = Workload("mcf", expected_output="5120\n", body=r"""
+main:
+    @ Build a 512-node singly-linked network: node = {next, cost, flow}.
+    ldr r4, =USER_HEAP
+    mov r0, #0
+build:
+    mul r1, r0, r0
+    add r1, r1, #17
+    and r1, r1, #0x1F8          @ pseudo-random successor
+    add r2, r4, r1, lsl #4      @ &node[succ]
+    add r3, r4, r0, lsl #4      @ &node[i]
+    str r2, [r3]                @ node.next
+    eor r1, r1, r0
+    str r1, [r3, #4]            @ node.cost
+    mov r1, #0
+    str r1, [r3, #8]            @ node.flow
+    add r0, r0, #1
+    cmp r0, #512
+    blt build
+
+    mov r8, #0                  @ objective
+    mov r9, #0                  @ iterations
+simplex:
+    mov r5, r4                  @ current node
+    mov r6, #64                 @ chase length
+chase:
+    ldr r0, [r5, #4]            @ cost
+    ldr r1, [r5, #8]            @ flow
+    ldr r3, [r5, #12]           @ potential
+    add r0, r0, r3, lsr #8
+    add r2, r0, r1
+    cmp r2, r8, lsr #16
+    addlt r8, r8, r0
+    addge r8, r8, #1
+    add r1, r1, #1
+    str r1, [r5, #8]            @ update flow
+    ldr r5, [r5]                @ follow pointer
+    subs r6, r6, #1
+    bne chase
+    add r9, r9, #1
+    cmp r9, #80
+    blt simplex
+
+    mov r0, r8
+    bl updec
+    mov r0, #0
+    bl uexit
+""")
+
+
+GOBMK = Workload("gobmk", expected_output="9592\n", body=r"""
+main:
+    @ 32x32 board of stones {0,1,2}; count pattern scores.
+    ldr r4, =USER_HEAP
+    mov r0, #0
+seed:
+    mul r1, r0, r0
+    add r1, r1, r0, lsl #3
+    mov r1, r1, lsr #3
+    cmp r1, r0
+    and r1, r1, #3
+    cmp r1, #3
+    moveq r1, #0
+    strb r1, [r4, r0]
+    add r0, r0, #1
+    ldr r2, =1024
+    cmp r0, r2
+    blt seed
+
+    mov r8, #0                  @ score
+    mov r9, #0                  @ passes
+evaluate:
+    mov r5, #33                 @ start inside the border
+row:
+    ldrb r0, [r4, r5]           @ stone at (x, y)
+    cmp r0, #0
+    beq empty
+    sub r1, r5, #1
+    ldrb r1, [r4, r1]           @ west
+    add r2, r5, #1
+    ldrb r2, [r4, r2]           @ east
+    sub r3, r5, #32
+    ldrb r3, [r4, r3]           @ north
+    add r6, r5, #32
+    ldrb r6, [r4, r6]           @ south
+    @ liberties: empty neighbours
+    cmp r1, #0
+    addeq r8, r8, #1
+    cmp r2, #0
+    addeq r8, r8, #1
+    cmp r3, #0
+    addeq r8, r8, #1
+    cmp r6, #0
+    addeq r8, r8, #1
+    @ connection bonus: same-colour east neighbour
+    cmp r2, r0
+    addeq r8, r8, #3
+    b next_point
+empty:
+    add r8, r8, #0
+next_point:
+    add r5, r5, #1
+    ldr r1, =990
+    cmp r5, r1
+    blt row
+    add r9, r9, #1
+    cmp r9, #8
+    blt evaluate
+
+    mov r0, r8
+    bl updec
+    mov r0, #0
+    bl uexit
+""")
+
+
+HMMER = Workload("hmmer", expected_output="1151559\n", body=r"""
+main:
+    @ Viterbi-style DP: score[i] = max(prev[i-1]+m, prev[i]+d) + e[i].
+    ldr r4, =USER_HEAP          @ prev row (128 words)
+    ldr r5, =USER_HEAP + 0x400  @ curr row
+    ldr r6, =USER_HEAP + 0x800  @ emission scores
+    mov r0, #0
+init:
+    mul r1, r0, r0
+    and r1, r1, #255
+    str r1, [r6, r0, lsl #2]
+    mov r2, #0
+    str r2, [r4, r0, lsl #2]
+    add r0, r0, #1
+    cmp r0, #128
+    blt init
+
+    mov r9, #0                  @ sequence position
+viterbi:
+    mov r8, #1                  @ state index (4x unrolled inner loop)
+inner:
+    sub r0, r8, #1
+    ldr r1, [r4, r0, lsl #2]    @ prev[i-1]
+    ldr r2, [r4, r8, lsl #2]    @ prev[i]
+    ldr r3, [r6, r0, lsl #2]    @ match transition score
+    add r1, r1, r3
+    add r2, r2, #1              @ delete transition
+    cmp r1, r2
+    movlt r1, r2
+    ldr r3, [r6, r8, lsl #2]    @ emission
+    add r1, r1, r3
+    bic r1, r1, #0xFF000000     @ keep scores bounded
+    str r1, [r5, r8, lsl #2]    @ curr[i]
+    add r8, r8, #1
+    sub r0, r8, #1
+    ldr r1, [r4, r0, lsl #2]
+    ldr r2, [r4, r8, lsl #2]
+    ldr r3, [r6, r0, lsl #2]
+    add r1, r1, r3
+    add r2, r2, #1
+    cmp r1, r2
+    movlt r1, r2
+    ldr r3, [r6, r8, lsl #2]
+    add r1, r1, r3
+    bic r1, r1, #0xFF000000
+    str r1, [r5, r8, lsl #2]
+    add r8, r8, #1
+    cmp r8, #128
+    blt inner
+    @ swap rows
+    mov r0, r4
+    mov r4, r5
+    mov r5, r0
+    add r9, r9, #1
+    cmp r9, #40
+    blt viterbi
+
+    @ checksum final row
+    mov r0, #0
+    mov r1, #0
+final:
+    ldr r2, [r4, r1, lsl #2]
+    add r0, r0, r2
+    add r1, r1, #1
+    cmp r1, #128
+    blt final
+    bl updec
+    mov r0, #0
+    bl uexit
+""")
+
+
+SJENG = Workload("sjeng", expected_output="118238\n", body=r"""
+main:
+    @ Iterative game-tree search with an explicit stack of positions.
+    ldr r4, =USER_HEAP          @ stack of (position, depth) pairs
+    ldr r8, =0x12345           @ position hash
+    mov r9, #0                  @ best score
+    mov r11, #0                 @ game counter
+game:
+    mov r5, #0                  @ stack pointer (index)
+    @ push root
+    add r8, r8, r11, lsl #5
+    str r8, [r4]
+    mov r0, #9                  @ root depth
+    str r0, [r4, #4]
+    mov r5, #1
+search:
+    cmp r5, #0
+    beq game_over
+    sub r5, r5, #1
+    add r1, r4, r5, lsl #3
+    ldr r8, [r1]                @ position
+    ldr r6, [r1, #4]            @ depth
+    @ transposition-table probe (1K entries at heap + 0x1000)
+    ldr r12, =USER_HEAP + 0x1000
+    eor r0, r8, r8, lsr #11
+    add r0, r0, r0, lsl #3
+    and r2, r0, #0xFF0
+    ldr r3, [r12, r2]           @ tt entry
+    cmp r3, r8
+    addeq r9, r9, #2            @ tt hit bonus
+    str r8, [r12, r2]           @ store position
+    and r2, r0, #255
+    add r9, r9, r2
+    cmp r6, #0
+    beq search                  @ leaf
+    @ expand 2 children (bounded stack)
+    cmp r5, #200
+    bge search
+    mov r1, #0x41
+    mul r2, r8, r1
+    add r2, r2, #13             @ child 1 position
+    add r3, r4, r5, lsl #3
+    str r2, [r3]
+    sub r0, r6, #1
+    str r0, [r3, #4]
+    add r5, r5, #1
+    eor r2, r8, r8, lsl #7
+    add r2, r2, #29             @ child 2 position
+    and r1, r2, #1
+    cmp r1, #0                  @ prune half the children
+    beq search
+    add r3, r4, r5, lsl #3
+    str r2, [r3]
+    sub r0, r6, #1
+    str r0, [r3, #4]
+    add r5, r5, #1
+    b search
+game_over:
+    add r11, r11, #1
+    cmp r11, #12
+    blt game
+    mov r0, r9
+    bl updec
+    mov r0, #0
+    bl uexit
+""")
+
+
+LIBQUANTUM = Workload("libquantum", expected_output="4244632576\n", body=r"""
+main:
+    @ Quantum register simulation: phase kickback over 2^k basis states.
+    ldr r4, =USER_HEAP          @ amplitude table (byte phases)
+    mov r8, #0                  @ state checksum
+    mov r9, #0                  @ gate counter
+gates:
+    @ controlled-NOT-ish pass: pure ALU bit manipulation
+    mov r5, #0
+    ldr r6, =0x5A5A5A5A
+states:
+    eor r0, r5, r5, lsl #13
+    eor r0, r0, r0, lsr #17
+    eor r0, r0, r0, lsl #5     @ xorshift "amplitude"
+    and r1, r5, #7
+    mov r2, r6, ror r1
+    eor r0, r0, r2
+    add r8, r8, r0
+    @ occasionally touch a phase byte (sparse memory traffic)
+    tst r5, #1
+    andeq r1, r5, #0xFF
+    ldrbeq r2, [r4, r1]
+    addeq r0, r0, r2
+    strbeq r0, [r4, r1]
+    add r5, r5, #1
+    cmp r5, #256
+    blt states
+    add r9, r9, #1
+    cmp r9, #24
+    blt gates
+
+    mov r0, r8
+    bl updec
+    mov r0, #0
+    bl uexit
+""")
+
+
+H264REF = Workload("h264ref", expected_output="3954265738\n", body=r"""
+main:
+    @ Motion estimation: SAD of a 16x16 block over a search window,
+    @ then motion-compensation block copies (very memory-heavy).
+    ldr r4, =USER_HEAP          @ reference frame (64x64 bytes)
+    ldr r5, =USER_HEAP + 0x2000 @ current block (16x16)
+    ldr r11, =USER_HEAP + 0x3000 @ reconstruction buffer
+    mov r0, #0
+    ldr r3, =0x01010101
+frame:
+    mul r1, r0, r3              @ word-wise pseudo-pixels
+    add r1, r1, r0, ror #7
+    str r1, [r4, r0, lsl #2]
+    add r0, r0, #1
+    ldr r2, =1024
+    cmp r0, r2
+    blt frame
+    mov r0, #0
+block:
+    add r1, r0, #7
+    mul r1, r1, r1
+    and r1, r1, #255
+    strb r1, [r5, r0]
+    add r0, r0, #1
+    cmp r0, #256
+    blt block
+
+    mov r8, #0                  @ SAD accumulator
+    mov r9, #0                  @ search position
+window:
+    mov r6, #0                  @ row
+sadrow:
+    add r0, r9, r6, lsl #6
+    add r0, r0, r4              @ ref row pointer
+    add r2, r5, r6, lsl #4      @ cur row pointer
+    mov r10, #16                @ 16 pixels, pointer-walking
+sadcol:
+    ldrb r1, [r0], #1
+    ldrb r3, [r2], #1
+    subs r1, r1, r3
+    rsblt r1, r1, #0            @ abs
+    add r8, r8, r1
+    subs r10, r10, #1
+    bne sadcol
+    add r6, r6, #1
+    cmp r6, #16
+    blt sadrow
+    @ motion compensation: copy the best row block (word loads/stores)
+    add r0, r4, r9
+    mov r2, r11
+    mov r10, #64
+copy:
+    ldr r1, [r0], #4
+    str r1, [r2], #4
+    subs r10, r10, #1
+    bne copy
+    add r9, r9, #4
+    cmp r9, #64
+    blt window
+
+    @ fold the reconstruction buffer into the checksum
+    mov r1, #0
+fold:
+    ldr r2, [r11, r1, lsl #2]
+    add r8, r8, r2
+    add r1, r1, #1
+    cmp r1, #64
+    blt fold
+    mov r0, r8
+    bl updec
+    mov r0, #0
+    bl uexit
+""")
+
+
+OMNETPP = Workload("omnetpp", expected_output="2097701\n", body=r"""
+main:
+    @ Discrete-event simulation: binary min-heap of (time, kind) events.
+    ldr r4, =USER_HEAP          @ heap array (8-byte entries)
+    mov r5, #0                  @ heap size
+    ldr r8, =0x1234             @ rng state
+    mov r9, #0                  @ processed events
+    mov r10, #0                 @ simulated clock checksum
+    @ seed 16 events
+seedloop:
+    bl rng
+    and r0, r8, #0xFF0
+    bl heap_push
+    add r9, r9, #1
+    cmp r9, #16
+    blt seedloop
+    mov r9, #0
+run:
+    bl heap_pop                 @ r0 = earliest time
+    add r10, r10, r0
+    ldr r1, =USER_HEAP + 0x4000 @ event log
+    and r2, r9, #0xFF0
+    str r0, [r1, r2]            @ log the event time
+    ldr r3, [r1, r2]
+    add r10, r10, r3, lsr #24
+    @ each event schedules 0-2 successors
+    bl rng
+    tst r8, #1
+    beq noschedule
+    and r0, r8, #0xFF0
+    add r0, r0, r10, lsr #20
+    bl heap_push
+noschedule:
+    bl rng
+    tst r8, #6
+    bne skip2
+    and r0, r8, #0x7F0
+    bl heap_push
+skip2:
+    cmp r5, #0
+    beq refill
+    add r9, r9, #1
+    ldr r0, =900
+    cmp r9, r0
+    blt run
+    b finish
+refill:
+    bl rng
+    and r0, r8, #0xFF0
+    bl heap_push
+    b run
+finish:
+    mov r0, r10
+    bl updec
+    mov r0, #0
+    bl uexit
+
+rng:                            @ xorshift on r8
+    eor r8, r8, r8, lsl #13
+    eor r8, r8, r8, lsr #17
+    eor r8, r8, r8, lsl #5
+    bx lr
+
+heap_push:                      @ r0 = key; clobbers r1-r3, r6
+    add r1, r4, r5, lsl #3
+    str r0, [r1]
+    str r9, [r1, #4]
+    mov r1, r5                  @ sift up from index r5
+    add r5, r5, #1
+siftup:
+    cmp r1, #0
+    beq push_done
+    sub r2, r1, #1
+    mov r2, r2, lsr #1          @ parent index
+    add r3, r4, r2, lsl #3
+    ldr r6, [r3]
+    cmp r6, r0
+    bls push_done
+    @ swap
+    add r12, r4, r1, lsl #3
+    str r6, [r12]
+    str r0, [r3]
+    mov r1, r2
+    b siftup
+push_done:
+    bx lr
+
+heap_pop:                       @ returns min key in r0; clobbers r1-r3,r6,r12
+    ldr r0, [r4]
+    sub r5, r5, #1
+    add r1, r4, r5, lsl #3
+    ldr r2, [r1]                @ last key
+    str r2, [r4]
+    mov r1, #0                  @ sift down
+siftdown:
+    add r2, r1, r1
+    add r2, r2, #1              @ left child
+    cmp r2, r5
+    bge pop_done
+    add r3, r2, #1              @ right child
+    cmp r3, r5
+    bge noright
+    add r12, r4, r2, lsl #3
+    ldr r6, [r12]
+    add r12, r4, r3, lsl #3
+    ldr r12, [r12]
+    cmp r12, r6
+    movlo r2, r3                @ pick the smaller child
+noright:
+    add r3, r4, r1, lsl #3
+    ldr r6, [r3]                @ parent key
+    add r12, r4, r2, lsl #3
+    ldr r12, [r12]              @ child key
+    cmp r12, r6
+    bhs pop_done
+    @ swap parent/child
+    add r3, r4, r1, lsl #3
+    str r12, [r3]
+    add r3, r4, r2, lsl #3
+    str r6, [r3]
+    mov r1, r2
+    b siftdown
+pop_done:
+    bx lr
+""")
+
+
+ASTAR = Workload("astar", expected_output="960\n", body=r"""
+main:
+    @ Repeated BFS over a 32x32 grid with walls; ring-buffer frontier.
+    ldr r4, =USER_HEAP          @ grid: 0 free, 1 wall, 2 visited
+    ldr r5, =USER_HEAP + 0x1000 @ queue of cell indices
+    ldr r12, =USER_HEAP + 0x2000 @ wall template
+    mov r0, #0
+template:
+    mul r1, r0, r0
+    add r1, r1, r0, lsl #2
+    and r1, r1, #31
+    cmp r1, #5                  @ ~1/6 walls
+    movlt r1, #1
+    movge r1, #0
+    strb r1, [r12, r0]
+    add r0, r0, #1
+    ldr r2, =1024
+    cmp r0, r2
+    blt template
+    mov r11, #0                 @ search number
+    mov r10, #0                 @ total reachable cells
+searches:
+    mov r0, #0
+grid:                           @ reset the grid from the template
+    ldr r1, [r12, r0]
+    str r1, [r4, r0]
+    add r0, r0, #4
+    ldr r2, =1024
+    cmp r0, r2
+    blt grid
+
+    ldr r0, =33                 @ start cell (1,1)
+    mov r1, #2
+    strb r1, [r4, r0]
+    str r0, [r5]
+    mov r8, #1                  @ queue tail
+    mov r9, #0                  @ queue head
+bfs:
+    cmp r9, r8
+    beq bfs_done
+    ldr r6, [r5, r9, lsl #2]    @ dequeue
+    add r9, r9, #1
+    add r10, r10, #1
+    @ four neighbours
+    sub r0, r6, #1
+    bl visit
+    add r0, r6, #1
+    bl visit
+    sub r0, r6, #32
+    bl visit
+    add r0, r6, #32
+    bl visit
+    b bfs
+visit:
+    cmp r0, #0
+    bxlt lr
+    ldr r1, =1024
+    cmp r0, r1
+    bxge lr
+    ldrb r1, [r4, r0]
+    cmp r1, #0
+    bxne lr                     @ wall or visited
+    mov r1, #2
+    strb r1, [r4, r0]
+    str r0, [r5, r8, lsl #2]
+    add r8, r8, #1
+    bx lr
+bfs_done:
+    add r11, r11, #1
+    cmp r11, #10
+    blt searches
+    mov r0, r10
+    bl updec
+    mov r0, #0
+    bl uexit
+""")
+
+
+XALANCBMK = Workload("xalancbmk", expected_output="8390\n", body=r"""
+main:
+    @ XML-ish tree: array of nodes {tag, first_child, sibling};
+    @ repeated traversals with tag matching (short, branchy blocks).
+    ldr r4, =USER_HEAP
+    mov r0, #0
+nodes:                          @ build 256 nodes
+    mul r1, r0, r0
+    add r1, r1, #3
+    and r1, r1, #15
+    add r2, r4, r0, lsl #4
+    str r1, [r2]                @ tag
+    add r1, r0, r0
+    add r1, r1, #1
+    cmp r1, #256
+    movge r1, #0
+    str r1, [r2, #4]            @ first child
+    add r1, r1, #1
+    cmp r1, #256
+    movge r1, #0
+    str r1, [r2, #8]            @ sibling
+    add r0, r0, #1
+    cmp r0, #256
+    blt nodes
+
+    mov r8, #0                  @ matches
+    mov r9, #0                  @ queries
+query:
+    and r10, r9, #15            @ target tag
+    mov r5, #0                  @ current node
+    mov r6, #0                  @ steps
+walk:
+    add r2, r4, r5, lsl #4
+    ldr r0, [r2]                @ tag
+    cmp r0, r10
+    addeq r8, r8, r5
+    addne r8, r8, #1
+    tst r6, #1
+    ldreq r5, [r2, #4]          @ even step: descend
+    ldrne r5, [r2, #8]          @ odd step: sibling
+    cmp r5, #0
+    beq walk_done
+    add r6, r6, #1
+    cmp r6, #40
+    blt walk
+walk_done:
+    add r9, r9, #1
+    ldr r0, =160
+    cmp r9, r0
+    blt query
+
+    mov r0, r8
+    bl updec
+    mov r0, #0
+    bl uexit
+""")
+
+
+SPEC_WORKLOADS: Dict[str, Workload] = {
+    workload.name: workload for workload in (
+        PERLBENCH, BZIP2, GCC, MCF, GOBMK, HMMER, SJENG, LIBQUANTUM,
+        H264REF, OMNETPP, ASTAR, XALANCBMK)
+}

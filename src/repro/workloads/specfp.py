@@ -1,0 +1,200 @@
+"""Floating-point workload analogs (the paper's footnote 3).
+
+The paper notes that with SPEC 2006's floating-point applications
+included, the optimized rule-based system reaches **1.92x** (instead of
+1.36x on CINT alone): FP rules translate VFP arithmetic to host SSE
+scalar ops directly, while QEMU emulates every FP instruction through a
+softfloat helper — and SSE ops do not touch the host FLAGS register, so
+FP code needs *no* CPU-state coordination at all.
+
+Three kernels in the style of SPEC CFP hot loops: a SAXPY stream, a
+Horner polynomial evaluator, and a 3-point stencil smoother.  All
+arithmetic is binary32 with bit-exact results across engines, checked by
+printing the raw bit patterns.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .spec import Workload
+
+# f32 constants as bit patterns.
+#   1.0 = 0x3F800000   0.5 = 0x3F000000   0.25 = 0x3E800000
+#   2.0 = 0x40000000   1.5 = 0x3FC00000   3.0 = 0x40400000
+
+SAXPY = Workload("saxpy", category="specfp",
+        expected_output="3f800000\n44f02000\n45ef1800\n", body=r"""
+main:
+    ldr r4, =USER_HEAP          @ x[]
+    ldr r5, =USER_HEAP + 0x1000 @ y[]
+    @ initialize x[i] = i * 0.5, y[i] = 1.0  (built with FP adds)
+    ldr r0, =0x3F000000         @ 0.5
+    str r0, [r4]
+    vldr s0, [r4]               @ s0 = 0.5 (the step)
+    vsub.f32 s1, s0, s0         @ s1 = running x value = 0.0
+    ldr r0, =0x3F800000         @ 1.0
+    str r0, [r5]
+    vldr s2, [r5]               @ s2 = 1.0
+    mov r6, #0
+init:
+    vstr s1, [r4]
+    vstr s2, [r5]
+    vadd.f32 s1, s1, s0
+    add r4, r4, #4
+    add r5, r5, #4
+    add r6, r6, #1
+    cmp r6, #256
+    blt init
+    ldr r4, =USER_HEAP
+    ldr r5, =USER_HEAP + 0x1000
+
+    @ y[i] = a*x[i] + y[i], a = 1.5, repeated passes
+    ldr r0, =0x3FC00000
+    str r0, [r4, #0x3F8]
+    vldr s7, [r4, #0x3F8]       @ a = 1.5
+    mov r8, #0                  @ pass counter
+passes:
+    mov r6, #0
+    mov r0, r4
+    mov r1, r5
+saxpy:
+    vldr s0, [r0]
+    vldr s1, [r1]
+    vmul.f32 s0, s0, s7
+    vadd.f32 s1, s1, s0
+    vstr s1, [r1]
+    add r0, r0, #4
+    add r1, r1, #4
+    add r6, r6, #1
+    cmp r6, #256
+    blt saxpy
+    add r8, r8, #1
+    cmp r8, #40
+    blt passes
+
+    @ print a few raw results
+    ldr r0, [r5]
+    bl uphex
+    ldr r0, [r5, #0x100]
+    bl uphex
+    ldr r0, [r5, #0x3FC]
+    bl uphex
+    mov r0, #0
+    bl uexit
+""")
+
+
+POLY = Workload("fppoly", category="specfp",
+        expected_output="5b0653d8\n", body=r"""
+main:
+    ldr r4, =USER_HEAP          @ coefficient table c0..c7
+    ldr r0, =0x3F800000         @ 1.0
+    mov r6, #0
+    mov r1, r0
+coef:
+    str r1, [r4, r6, lsl #2]
+    add r1, r1, #0x00100000     @ vary the coefficient bits
+    add r6, r6, #1
+    cmp r6, #8
+    blt coef
+
+    @ Horner: p(x) = ((c7*x + c6)*x + ...)*x + c0 for 600 x values
+    ldr r0, =0x3D800000         @ x step = 0.0625
+    str r0, [r4, #0x40]
+    vldr s1, [r4, #0x40]        @ step
+    vsub.f32 s2, s1, s1         @ x = 0.0
+    vsub.f32 s10, s1, s1        @ checksum accumulator = 0.0
+    mov r8, #0
+points:
+    vldr s0, [r4, #28]          @ p = c7
+    mov r6, #6
+horner:
+    vmul.f32 s0, s0, s2         @ p *= x
+    ldr r1, [r4, r6, lsl #2]
+    str r1, [r4, #0x44]
+    vldr s3, [r4, #0x44]
+    vadd.f32 s0, s0, s3         @ p += c[i]
+    subs r6, r6, #1
+    bge horner
+    vadd.f32 s10, s10, s0       @ accumulate
+    vadd.f32 s2, s2, s1         @ x += step
+    add r8, r8, #1
+    ldr r1, =1600
+    cmp r8, r1
+    blt points
+
+    vstr s10, [r4, #0x48]
+    ldr r0, [r4, #0x48]
+    bl uphex
+    mov r0, #0
+    bl uexit
+""")
+
+
+STENCIL = Workload("fpstencil", category="specfp",
+        expected_output="3fe6a923\n3f000002\n",
+                   body=r"""
+main:
+    ldr r4, =USER_HEAP          @ grid of 512 f32 values
+    @ seed the grid: v = 2.0; v[i+1] = v[i] * 0.75 + 0.125
+    ldr r0, =0x40000000         @ 2.0
+    str r0, [r4]
+    vldr s0, [r4]
+    ldr r0, =0x3F400000         @ 0.75
+    str r0, [r4, #4]
+    vldr s1, [r4, #4]
+    ldr r0, =0x3E000000         @ 0.125
+    str r0, [r4, #8]
+    vldr s2, [r4, #8]
+    mov r6, #0
+seed:
+    vstr s0, [r4]
+    vmul.f32 s0, s0, s1
+    vadd.f32 s0, s0, s2
+    add r4, r4, #4
+    add r6, r6, #1
+    cmp r6, #512
+    blt seed
+    ldr r4, =USER_HEAP
+
+    @ smoothing passes: g[i] = (g[i-1] + g[i] + g[i+1]) * 0.25 + g[i] * 0.25
+    ldr r0, =0x3E800000         @ 0.25
+    ldr r5, =USER_HEAP + 0x900
+    str r0, [r5]
+    vldr s7, [r5]
+    mov r8, #0
+smooth:
+    add r0, r4, #4              @ &g[1]
+    mov r6, #1
+row:
+    vldr s0, [r0, #-4]
+    vldr s1, [r0]
+    vldr s2, [r0, #4]
+    vadd.f32 s0, s0, s1
+    vadd.f32 s0, s0, s2
+    vmul.f32 s0, s0, s7
+    vmul.f32 s3, s1, s7
+    vadd.f32 s0, s0, s3
+    vstr s0, [r0]
+    add r0, r0, #4
+    add r6, r6, #1
+    ldr r1, =511
+    cmp r6, r1
+    blt row
+    add r8, r8, #1
+    cmp r8, #30
+    blt smooth
+
+    ldr r0, [r4, #4]
+    bl uphex
+    ldr r0, [r4, #0x400]
+    bl uphex
+    mov r0, #0
+    bl uexit
+""")
+
+
+SPECFP_WORKLOADS: Dict[str, Workload] = {
+    workload.name: workload for workload in (SAXPY, POLY, STENCIL)
+}

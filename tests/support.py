@@ -1,0 +1,30 @@
+"""Shared test helpers: boot a machine with the mini-kernel and a workload."""
+
+from __future__ import annotations
+
+from repro.kernel.kernel import (DEFAULT_TIMER_RELOAD, build_kernel,
+                                 build_user_program)
+from repro.miniqemu.machine import Machine
+
+
+def boot_machine(user_body: str, engine: str = "interp",
+                 timer_reload: int = DEFAULT_TIMER_RELOAD,
+                 rule_engine_factory=None, **machine_kwargs) -> Machine:
+    """Create a machine with the kernel + a user program loaded, pc at reset."""
+    machine = Machine(engine=engine, rule_engine_factory=rule_engine_factory,
+                      **machine_kwargs)
+    kernel = build_kernel(timer_reload=timer_reload)
+    user = build_user_program(user_body)
+    machine.memory.load_program(kernel)
+    machine.memory.load_program(user)
+    machine.cpu.regs[15] = 0  # reset vector
+    machine.env.load_from_cpu(machine.cpu)
+    return machine
+
+
+def run_workload(user_body: str, engine: str = "interp",
+                 max_insns: int = 20_000_000, **kwargs):
+    """Boot, run to halt; returns (exit_code, uart_text, machine)."""
+    machine = boot_machine(user_body, engine=engine, **kwargs)
+    code = machine.run(max_insns)
+    return code, machine.uart.text, machine

@@ -1,0 +1,67 @@
+"""Tests for the env structure and its synchronization with GuestCpu."""
+
+from repro.guest.cpu import GuestCpu, MODE_IRQ, MODE_SVC
+from repro.miniqemu.env import (ENV_CF, ENV_NF, ENV_PACKED_VALID, ENV_VF,
+                                ENV_ZF, Env, env_reg, env_vfp)
+
+
+def test_roundtrip_preserves_architectural_state():
+    cpu = GuestCpu()
+    for index in range(16):
+        cpu.regs[index] = 0x1000 + index
+    cpu.set_nzcv(1, 0, 1, 1)
+    cpu.vfp[5] = 0x3F800000
+    cpu.fpscr = 0xA0000000
+    env = Env()
+    env.load_from_cpu(cpu)
+
+    other = GuestCpu()
+    env.store_to_cpu(other)
+    assert other.regs == cpu.regs
+    assert other.cpsr == cpu.cpsr
+    assert other.vfp[5] == 0x3F800000
+    assert other.fpscr == 0xA0000000
+
+
+def test_flags_split_into_per_bit_fields():
+    cpu = GuestCpu()
+    cpu.set_nzcv(1, 1, 0, 1)
+    env = Env()
+    env.load_from_cpu(cpu)
+    assert env.read(ENV_NF) == 1
+    assert env.read(ENV_ZF) == 1
+    assert env.read(ENV_CF) == 0
+    assert env.read(ENV_VF) == 1
+    assert env.read(ENV_PACKED_VALID) == 0
+
+
+def test_store_to_cpu_switches_mode_with_banking():
+    cpu = GuestCpu()
+    assert cpu.mode == MODE_SVC
+    cpu.regs[13] = 0xAAAA          # SVC stack pointer
+    env = Env()
+    env.load_from_cpu(cpu)
+    # Pretend generated code ran while QEMU recorded an IRQ-mode CPSR.
+    env.write(0x50, (cpu.cpsr & 0x0FFFFFF0) | MODE_IRQ)  # ENV_CPSR_REST
+    env.set_reg(13, 0xBBBB)        # the IRQ-mode sp value
+    env.store_to_cpu(cpu)
+    assert cpu.mode == MODE_IRQ
+    assert cpu.regs[13] == 0xBBBB
+    cpu.switch_mode(MODE_SVC)
+    assert cpu.regs[13] == 0xAAAA  # the banked SVC sp survived
+
+
+def test_field_offsets_do_not_overlap():
+    offsets = [env_reg(index) for index in range(16)]
+    offsets += [ENV_NF, ENV_ZF, ENV_CF, ENV_VF, ENV_PACKED_VALID]
+    offsets += [env_vfp(index) for index in range(32)]
+    assert len(set(offsets)) == len(offsets)
+    from repro.miniqemu.env import ENV_SIZE
+    assert max(offsets) + 4 <= ENV_SIZE
+
+
+def test_pc_property():
+    env = Env()
+    env.pc = 0x1234
+    assert env.pc == 0x1234
+    assert env.get_reg(15) == 0x1234

@@ -1,0 +1,248 @@
+"""Encoder/decoder round-trip tests for the ARM guest ISA."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.bitops import decode_arm_imm, encode_arm_imm, ror32
+from repro.common.errors import DecodingError
+from repro.guest.decoder import decode
+from repro.guest.encoder import encode
+from repro.guest.isa import (ArmInsn, Cond, Op, Operand2, ShiftKind,
+                             DATA_PROCESSING_OPS, COMPARE_OPS, UNARY_DP_OPS)
+
+
+def roundtrip(insn: ArmInsn) -> ArmInsn:
+    word = encode(insn)
+    return decode(word, insn.addr)
+
+
+# ---------------------------------------------------------------------------
+# Modified immediates.
+# ---------------------------------------------------------------------------
+
+@given(st.integers(min_value=0, max_value=0xFF),
+       st.integers(min_value=0, max_value=15))
+def test_arm_imm_roundtrip(imm8, rotation):
+    value = decode_arm_imm(rotation, imm8)
+    encoded = encode_arm_imm(value)
+    assert encoded is not None
+    rot2, imm2 = encoded
+    assert decode_arm_imm(rot2, imm2) == value
+
+
+def test_arm_imm_unencodable():
+    assert encode_arm_imm(0x12345678) is None
+    assert encode_arm_imm(0x101) is None
+
+
+@pytest.mark.parametrize("value", [0, 1, 0xFF, 0xFF0, 0xFF00, 0xFF000000,
+                                   0xF000000F, 0x3FC])
+def test_arm_imm_known_encodable(value):
+    encoded = encode_arm_imm(value)
+    assert encoded is not None
+    assert decode_arm_imm(*encoded) == value
+
+
+# ---------------------------------------------------------------------------
+# Data processing.
+# ---------------------------------------------------------------------------
+
+_dp_ops = sorted(DATA_PROCESSING_OPS, key=lambda op: op.value)
+
+
+@pytest.mark.parametrize("op", _dp_ops)
+def test_dp_register_roundtrip(op):
+    insn = ArmInsn(op=op, rd=3, rn=4, op2=Operand2.register(5),
+                   set_flags=(op not in COMPARE_OPS))
+    if op in COMPARE_OPS:
+        insn.set_flags = False
+    out = roundtrip(insn)
+    assert out.op == op
+    assert out.op2.rm == 5
+    if op not in COMPARE_OPS and op not in UNARY_DP_OPS:
+        assert (out.rd, out.rn) == (3, 4)
+
+
+@pytest.mark.parametrize("shift,amount", [
+    (ShiftKind.LSL, 0), (ShiftKind.LSL, 5), (ShiftKind.LSL, 31),
+    (ShiftKind.LSR, 1), (ShiftKind.LSR, 32),
+    (ShiftKind.ASR, 7), (ShiftKind.ASR, 32),
+    (ShiftKind.ROR, 8),
+])
+def test_dp_shift_roundtrip(shift, amount):
+    insn = ArmInsn(op=Op.ADD, rd=0, rn=1,
+                   op2=Operand2.register(2, shift, amount))
+    out = roundtrip(insn)
+    assert out.op2.shift == shift
+    assert out.op2.shift_imm == amount
+
+
+def test_dp_rrx_roundtrip():
+    insn = ArmInsn(op=Op.MOV, rd=0, op2=Operand2.register(1, ShiftKind.RRX))
+    out = roundtrip(insn)
+    assert out.op2.shift == ShiftKind.RRX
+
+
+def test_dp_register_shift_roundtrip():
+    insn = ArmInsn(op=Op.ORR, rd=1, rn=2,
+                   op2=Operand2.register(3, ShiftKind.LSR, rs=4))
+    out = roundtrip(insn)
+    assert out.op2.rs == 4
+    assert out.op2.shift == ShiftKind.LSR
+
+
+@given(st.integers(min_value=0, max_value=0xF),
+       st.integers(min_value=0, max_value=0xFF))
+@settings(max_examples=50)
+def test_dp_immediate_roundtrip(rotation, imm8):
+    value = ror32(imm8, rotation * 2)
+    insn = ArmInsn(op=Op.MOV, rd=7, op2=Operand2.immediate(value))
+    out = roundtrip(insn)
+    assert out.op2.is_imm and out.op2.imm == value
+
+
+@pytest.mark.parametrize("cond", list(Cond))
+def test_condition_field_roundtrip(cond):
+    insn = ArmInsn(op=Op.ADD, cond=cond, rd=0, rn=0,
+                   op2=Operand2.immediate(1))
+    assert roundtrip(insn).cond == cond
+
+
+# ---------------------------------------------------------------------------
+# Multiplies.
+# ---------------------------------------------------------------------------
+
+def test_mul_roundtrip():
+    insn = ArmInsn(op=Op.MUL, rd=4, rm=2, rs=3, set_flags=True)
+    out = roundtrip(insn)
+    assert (out.op, out.rd, out.rm, out.rs, out.set_flags) == \
+        (Op.MUL, 4, 2, 3, True)
+
+
+def test_mla_roundtrip():
+    insn = ArmInsn(op=Op.MLA, rd=4, rm=2, rs=3, rn=5)
+    out = roundtrip(insn)
+    assert (out.op, out.rd, out.rm, out.rs, out.rn) == (Op.MLA, 4, 2, 3, 5)
+
+
+# ---------------------------------------------------------------------------
+# Loads/stores.
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("op", [Op.LDR, Op.STR, Op.LDRB, Op.STRB])
+@pytest.mark.parametrize("pre,wb,add", [(True, False, True),
+                                        (True, True, True),
+                                        (False, False, True),
+                                        (True, False, False)])
+def test_word_byte_transfer_roundtrip(op, pre, wb, add):
+    insn = ArmInsn(op=op, rd=1, rn=2, mem_offset_imm=0x24,
+                   pre_indexed=pre, writeback=wb, add_offset=add)
+    out = roundtrip(insn)
+    assert out.op == op
+    assert out.mem_offset_imm == 0x24
+    assert out.pre_indexed == pre
+    assert out.add_offset == add
+    if pre:
+        assert out.writeback == wb
+
+
+def test_register_offset_transfer_roundtrip():
+    insn = ArmInsn(op=Op.LDR, rd=0, rn=1, mem_offset_reg=2,
+                   mem_shift=ShiftKind.LSL, mem_shift_imm=2)
+    out = roundtrip(insn)
+    assert out.mem_offset_reg == 2
+    assert out.mem_shift_imm == 2
+
+
+@pytest.mark.parametrize("op", [Op.LDRH, Op.STRH, Op.LDRSB, Op.LDRSH])
+def test_halfword_transfer_roundtrip(op):
+    insn = ArmInsn(op=op, rd=3, rn=4, mem_offset_imm=0x42)
+    out = roundtrip(insn)
+    assert out.op == op
+    assert out.mem_offset_imm == 0x42
+
+
+def test_halfword_register_offset_roundtrip():
+    insn = ArmInsn(op=Op.LDRH, rd=3, rn=4, mem_offset_reg=5)
+    out = roundtrip(insn)
+    assert out.mem_offset_reg == 5
+
+
+@pytest.mark.parametrize("op", [Op.LDM, Op.STM])
+@pytest.mark.parametrize("before,inc", [(False, True), (True, True),
+                                        (False, False), (True, False)])
+def test_block_transfer_roundtrip(op, before, inc):
+    insn = ArmInsn(op=op, rn=13, reglist=[0, 1, 4, 14], writeback=True,
+                   before=before, increment=inc)
+    out = roundtrip(insn)
+    assert out.op == op
+    assert out.reglist == [0, 1, 4, 14]
+    assert (out.before, out.increment, out.writeback) == (before, inc, True)
+
+
+# ---------------------------------------------------------------------------
+# Branches and system instructions.
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("op", [Op.B, Op.BL])
+@pytest.mark.parametrize("delta", [-0x100, 0, 8, 0x1000])
+def test_branch_roundtrip(op, delta):
+    insn = ArmInsn(op=op, addr=0x8000, target=0x8000 + 8 + delta)
+    out = roundtrip(insn)
+    assert out.op == op
+    assert out.target == insn.target
+
+
+def test_bx_roundtrip():
+    assert roundtrip(ArmInsn(op=Op.BX, rm=14)).rm == 14
+
+
+def test_mrs_msr_roundtrip():
+    out = roundtrip(ArmInsn(op=Op.MRS, rd=3, spsr=True))
+    assert (out.op, out.rd, out.spsr) == (Op.MRS, 3, True)
+    out = roundtrip(ArmInsn(op=Op.MSR, rm=4, imm=0x9, spsr=False))
+    assert (out.op, out.rm, out.imm, out.spsr) == (Op.MSR, 4, 0x9, False)
+
+
+def test_mcr_mrc_roundtrip():
+    insn = ArmInsn(op=Op.MCR, cp_op1=0, rd=2, cp_crn=2, cp_crm=0, cp_op2=0)
+    out = roundtrip(insn)
+    assert (out.op, out.rd, out.cp_crn) == (Op.MCR, 2, 2)
+    insn = ArmInsn(op=Op.MRC, cp_op1=0, rd=5, cp_crn=1, cp_crm=0, cp_op2=0)
+    out = roundtrip(insn)
+    assert (out.op, out.rd, out.cp_crn) == (Op.MRC, 5, 1)
+
+
+def test_vmrs_vmsr_roundtrip():
+    assert roundtrip(ArmInsn(op=Op.VMRS, rd=1)).op == Op.VMRS
+    assert roundtrip(ArmInsn(op=Op.VMSR, rd=2)).op == Op.VMSR
+    assert roundtrip(ArmInsn(op=Op.VMSR, rd=2)).rd == 2
+
+
+def test_svc_wfi_nop_clz_cps_roundtrip():
+    assert roundtrip(ArmInsn(op=Op.SVC, imm=42)).imm == 42
+    assert roundtrip(ArmInsn(op=Op.WFI)).op == Op.WFI
+    assert roundtrip(ArmInsn(op=Op.NOP)).op == Op.NOP
+    out = roundtrip(ArmInsn(op=Op.CLZ, rd=1, rm=2))
+    assert (out.op, out.rd, out.rm) == (Op.CLZ, 1, 2)
+    assert roundtrip(ArmInsn(op=Op.CPS, cps_enable=True)).cps_enable
+    assert not roundtrip(ArmInsn(op=Op.CPS, cps_enable=False)).cps_enable
+
+
+# ---------------------------------------------------------------------------
+# Decoder robustness: random words either decode or raise DecodingError,
+# and decoding is stable under re-encoding.
+# ---------------------------------------------------------------------------
+
+@given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+@settings(max_examples=300)
+def test_decode_never_crashes(word):
+    try:
+        insn = decode(word, 0x1000)
+    except DecodingError:
+        return
+    word2 = encode(insn)
+    insn2 = decode(word2, 0x1000)
+    assert insn2.op == insn.op
+    assert insn2.cond == insn.cond

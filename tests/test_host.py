@@ -1,0 +1,274 @@
+"""Unit tests for the host x86 model: flags semantics, interpreter, builder."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import HostExecutionError
+from repro.host import (CodeBuilder, EAX, EBX, ECX, EDX, ESP, HostCpu,
+                        HostInterpreter, HostMemory, Imm, Mem, Reg, X86Cond,
+                        X86Op)
+
+STACK_TOP = 0x2000
+
+
+def make_host():
+    memory = HostMemory()
+    memory.map_region(0, bytearray(0x4000), "flat")
+    cpu = HostCpu(stack_top=STACK_TOP)
+    return HostInterpreter(cpu, memory), cpu, memory
+
+
+class FakeTb:
+    pc = 0
+
+    def __init__(self, code):
+        self.code = code
+        self.jmp_target = [None, None]
+
+
+def run(builder: CodeBuilder):
+    builder.exit_tb(0)
+    interp, cpu, memory = make_host()
+    interp.execute(FakeTb(builder.finish()))
+    return interp, cpu, memory
+
+
+# ---------------------------------------------------------------------------
+# Arithmetic flags.
+# ---------------------------------------------------------------------------
+
+def test_add_sets_carry_and_overflow():
+    builder = CodeBuilder()
+    builder.movi(Reg(EAX), 0xFFFFFFFF)
+    builder.add(Reg(EAX), Imm(1))
+    _, cpu, _ = run(builder)
+    assert cpu.regs[EAX] == 0
+    assert (cpu.cf, cpu.zf, cpu.of) == (1, 1, 0)
+
+
+def test_signed_overflow():
+    builder = CodeBuilder()
+    builder.movi(Reg(EAX), 0x7FFFFFFF)
+    builder.add(Reg(EAX), Imm(1))
+    _, cpu, _ = run(builder)
+    assert (cpu.of, cpu.sf, cpu.cf) == (1, 1, 0)
+
+
+def test_sub_borrow():
+    builder = CodeBuilder()
+    builder.movi(Reg(EAX), 1)
+    builder.sub(Reg(EAX), Imm(2))
+    _, cpu, _ = run(builder)
+    assert cpu.regs[EAX] == 0xFFFFFFFF
+    assert cpu.cf == 1 and cpu.sf == 1
+
+
+def test_adc_sbb_chain():
+    builder = CodeBuilder()
+    builder.movi(Reg(EAX), 0xFFFFFFFF)
+    builder.add(Reg(EAX), Imm(1))      # CF=1
+    builder.movi(Reg(EBX), 5)
+    builder.adc(Reg(EBX), Imm(0))      # 5 + 0 + CF
+    _, cpu, _ = run(builder)
+    assert cpu.regs[EBX] == 6
+
+
+def test_logical_preserves_cf_of():
+    """Documented deviation: AND/OR/XOR/TEST keep CF/OF (see DESIGN.md)."""
+    builder = CodeBuilder()
+    builder.movi(Reg(EAX), 1)
+    builder.sub(Reg(EAX), Imm(2))      # CF=1
+    builder.and_(Reg(EAX), Imm(0xFF))
+    _, cpu, _ = run(builder)
+    assert cpu.cf == 1                 # real x86 would clear it
+
+
+def test_inc_dec_preserve_carry():
+    builder = CodeBuilder()
+    builder.movi(Reg(EAX), 1)
+    builder.sub(Reg(EAX), Imm(2))      # CF=1
+    builder.emit(X86Op.INC, Reg(EAX))
+    _, cpu, _ = run(builder)
+    assert cpu.cf == 1 and cpu.regs[EAX] == 0
+
+
+def test_shift_carry_out():
+    builder = CodeBuilder()
+    builder.movi(Reg(EAX), 0x80000001)
+    builder.shr(Reg(EAX), Imm(1))
+    _, cpu, _ = run(builder)
+    assert cpu.cf == 1 and cpu.regs[EAX] == 0x40000000
+
+
+def test_rcr_rotates_through_carry():
+    builder = CodeBuilder()
+    builder.movi(Reg(EAX), 1)
+    builder.sub(Reg(EAX), Imm(2))      # CF=1
+    builder.movi(Reg(EBX), 2)
+    builder.rcr1(Reg(EBX))
+    _, cpu, _ = run(builder)
+    assert cpu.regs[EBX] == 0x80000001
+    assert cpu.cf == 0
+
+
+def test_cmc_stc_clc():
+    builder = CodeBuilder()
+    builder.emit(X86Op.STC)
+    builder.cmc()
+    _, cpu, _ = run(builder)
+    assert cpu.cf == 0
+
+
+# ---------------------------------------------------------------------------
+# Flags as a word (the coordination primitives).
+# ---------------------------------------------------------------------------
+
+def test_pushfd_popfd_roundtrip():
+    builder = CodeBuilder()
+    builder.movi(Reg(EAX), 0)
+    builder.sub(Reg(EAX), Imm(1))      # CF=1 SF=1
+    builder.pushfd()
+    builder.movi(Reg(EBX), 5)
+    builder.add(Reg(EBX), Imm(5))      # clobber flags
+    builder.popfd()
+    _, cpu, _ = run(builder)
+    assert cpu.cf == 1 and cpu.sf == 1 and cpu.zf == 0
+
+
+def test_lahf_sahf():
+    builder = CodeBuilder()
+    builder.movi(Reg(EAX), 1)
+    builder.sub(Reg(EAX), Imm(1))      # ZF=1
+    builder.lahf()
+    builder.movi(Reg(EBX), 1)
+    builder.add(Reg(EBX), Imm(1))      # ZF=0
+    builder.sahf()
+    _, cpu, _ = run(builder)
+    assert cpu.zf == 1
+
+
+def test_setcc_writes_low_byte_only():
+    builder = CodeBuilder()
+    builder.movi(Reg(EBX), 0xAABBCCDD)
+    builder.movi(Reg(EAX), 0)
+    builder.cmp(Reg(EAX), Imm(0))
+    builder.setcc(X86Cond.E, Reg(EBX))
+    _, cpu, _ = run(builder)
+    assert cpu.regs[EBX] == 0xAABBCC01
+
+
+def test_setcc_to_memory_byte():
+    builder = CodeBuilder()
+    builder.movi(Reg(EAX), 1)
+    builder.cmp(Reg(EAX), Imm(1))
+    builder.setcc(X86Cond.E, Mem(base=None, disp=0x100, size=1))
+    _, _, memory = run(builder)
+    assert memory.read(0x100, 4) == 1
+
+
+# ---------------------------------------------------------------------------
+# Control flow, stack, memory operands.
+# ---------------------------------------------------------------------------
+
+def test_jcc_and_labels():
+    builder = CodeBuilder()
+    done = builder.new_label()
+    builder.movi(Reg(EAX), 0)
+    builder.movi(Reg(ECX), 5)
+    loop = builder.new_label()
+    builder.bind(loop)
+    builder.add(Reg(EAX), Imm(3))
+    builder.sub(Reg(ECX), Imm(1))
+    builder.jcc(X86Cond.NE, loop)
+    builder.bind(done)
+    _, cpu, _ = run(builder)
+    assert cpu.regs[EAX] == 15
+
+
+def test_push_pop():
+    builder = CodeBuilder()
+    builder.movi(Reg(EAX), 42)
+    builder.push(Reg(EAX))
+    builder.movi(Reg(EAX), 0)
+    builder.pop(Reg(EBX))
+    _, cpu, _ = run(builder)
+    assert cpu.regs[EBX] == 42
+    assert cpu.regs[ESP] == STACK_TOP
+
+
+def test_memory_scaled_index():
+    builder = CodeBuilder()
+    builder.movi(Reg(EBX), 0x200)
+    builder.movi(Reg(ECX), 3)
+    builder.movi(Reg(EAX), 0x11223344)
+    builder.mov(Mem(base=EBX, index=ECX, scale=4), Reg(EAX))
+    _, _, memory = run(builder)
+    assert memory.read(0x20C, 4) == 0x11223344
+
+
+def test_movzx_movsx():
+    builder = CodeBuilder()
+    builder.movi(Reg(EAX), 0xFFFFFF80)
+    builder.mov(Mem(base=None, disp=0x300, size=1), Reg(EAX))
+    builder.movzx(Reg(EBX), Mem(base=None, disp=0x300, size=1))
+    builder.movsx(Reg(ECX), Mem(base=None, disp=0x300, size=1))
+    _, cpu, _ = run(builder)
+    assert cpu.regs[EBX] == 0x80
+    assert cpu.regs[ECX] == 0xFFFFFF80
+
+
+def test_helper_call_receives_stack_args():
+    seen = []
+
+    def helper(runtime, a, b):
+        seen.append((a, b))
+        return a + b
+
+    builder = CodeBuilder()
+    builder.movi(Reg(EAX), 7)
+    builder.push(Imm(9))
+    builder.push(Reg(EAX))
+    builder.call_helper(helper, args=(Mem(base=ESP, disp=0),
+                                      Mem(base=ESP, disp=4)))
+    builder.add(Reg(ESP), Imm(8))
+    _, cpu, _ = run(builder)
+    assert seen == [(7, 9)]
+    assert cpu.regs[EAX] == 16  # result in EAX
+
+
+def test_unmapped_host_access_raises():
+    builder = CodeBuilder()
+    builder.mov(Reg(EAX), Mem(base=None, disp=0x999999))
+    builder.exit_tb(0)
+    interp, _, _ = make_host()
+    with pytest.raises(HostExecutionError):
+        interp.execute(FakeTb(builder.finish()))
+
+
+def test_tag_attribution():
+    builder = CodeBuilder(default_tag="code")
+    with builder.tagged("sync"):
+        builder.movi(Reg(EAX), 1)
+        builder.movi(Reg(EBX), 2)
+    builder.movi(Reg(ECX), 3)
+    interp, _, _ = run(builder)
+    assert interp.by_tag["sync"] == 2
+    assert interp.by_tag["code"] == 2  # movi ecx + exit_tb
+
+
+@given(st.integers(0, 0xFFFFFFFF), st.integers(0, 0xFFFFFFFF))
+def test_flags_add_matches_python(a, b):
+    cpu = HostCpu()
+    result = cpu.flags_add(a, b)
+    assert result == (a + b) & 0xFFFFFFFF
+    assert cpu.cf == (1 if a + b > 0xFFFFFFFF else 0)
+    assert cpu.zf == (1 if result == 0 else 0)
+
+
+@given(st.integers(0, 0xFFFFFFFF), st.integers(0, 0xFFFFFFFF))
+def test_flags_sub_matches_python(a, b):
+    cpu = HostCpu()
+    result = cpu.flags_sub(a, b)
+    assert result == (a - b) & 0xFFFFFFFF
+    assert cpu.cf == (1 if b > a else 0)

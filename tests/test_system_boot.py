@@ -1,0 +1,109 @@
+"""End-to-end system boot tests on the reference interpreter and TCG.
+
+These are the master differential tests: the same kernel + user program
+must produce identical console output and exit codes on every engine.
+"""
+
+import pytest
+
+from tests.support import run_workload
+
+HELLO = r"""
+main:
+    adr r0, message
+    mov r1, #7
+    bl uputs
+    mov r0, #42
+    bl uexit
+message:
+    .asciz "hello \n"
+"""
+
+ARITHMETIC = r"""
+main:
+    mov r4, #0          @ sum
+    mov r5, #1          @ i
+arith_loop:
+    mul r6, r5, r5
+    add r4, r4, r6
+    add r5, r5, #1
+    cmp r5, #50
+    ble arith_loop
+    mov r0, r4
+    bl updec            @ sum of squares 1..50 = 42925
+    mov r0, #0
+    bl uexit
+"""
+
+MEMORY = r"""
+main:
+    ldr r4, =USER_HEAP
+    mov r5, #0
+fill_loop:
+    str r5, [r4, r5, lsl #2]
+    add r5, r5, #1
+    cmp r5, #256
+    blt fill_loop
+    mov r6, #0          @ checksum
+    mov r5, #0
+sum_loop:
+    ldr r3, [r4, r5, lsl #2]
+    add r6, r6, r3
+    add r5, r5, #1
+    cmp r5, #256
+    blt sum_loop
+    mov r0, r6
+    bl updec            @ 0+1+...+255 = 32640
+    mov r0, #5
+    bl uexit
+"""
+
+TICKS = r"""
+main:
+    ldr r4, =20000      @ spin to let the timer fire
+spin:
+    subs r4, r4, #1
+    bne spin
+    bl uticks
+    cmp r0, #1
+    movlt r0, #1        @ expect at least one tick
+    movge r0, #0
+    bl uexit
+"""
+
+
+@pytest.mark.parametrize("engine", ["interp", "tcg"])
+class TestSystemBoot:
+    def test_hello(self, engine):
+        code, text, _ = run_workload(HELLO, engine=engine)
+        assert code == 42
+        assert text == "hello \n"
+
+    def test_arithmetic(self, engine):
+        code, text, _ = run_workload(ARITHMETIC, engine=engine)
+        assert code == 0
+        assert text == "42925\n"
+
+    def test_memory(self, engine):
+        code, text, _ = run_workload(MEMORY, engine=engine)
+        assert code == 5
+        assert text == "32640\n"
+
+    def test_timer_ticks(self, engine):
+        code, text, _ = run_workload(TICKS, engine=engine,
+                                     timer_reload=2000)
+        assert code == 0
+
+
+def test_engines_agree():
+    results = {}
+    for engine in ("interp", "tcg"):
+        code, text, machine = run_workload(ARITHMETIC, engine=engine)
+        results[engine] = (code, text)
+    assert results["interp"] == results["tcg"]
+
+
+def test_tcg_reports_host_instructions():
+    _, _, machine = run_workload(ARITHMETIC, engine="tcg")
+    stats = machine.stats()
+    assert stats["host_instructions"] > stats["guest_icount"] > 0
