@@ -13,6 +13,13 @@ Commands:
   save the rulebook as JSON.
 - ``compare WORKLOAD`` — run one workload on every engine and print a
   side-by-side cost comparison.
+- ``faultsmoke [--seeds N]`` — the robustness smoke matrix: run a
+  seeded fault-injection scenario grid and check every run still
+  produces the correct guest output and exit code.
+
+``run`` and ``exec`` accept ``--inject SPEC`` to enable deterministic
+fault injection, e.g. ``--inject seed=7,mem=0.01,rule-corrupt=SUB``
+(see ``repro.robustness.faultinject``).
 """
 
 from __future__ import annotations
@@ -42,6 +49,33 @@ def _print_run(result) -> None:
     print(f"host cost          : {result.host_cost:.0f}")
     print(f"device time        : {result.io_cost:.0f}")
     print(f"cost per guest insn: {result.cost_per_guest:.2f}")
+    _print_robustness(result.stats)
+
+
+def _print_robustness(stats) -> None:
+    """Degradation-ladder report (quarantines, fallback tiers, faults)."""
+    quarantined = stats.get("quarantined_rules", 0)
+    fallback = sum(count for key, count in stats.items()
+                   if key.startswith("tier_") and key.endswith("_tbs")
+                   and key != "tier_rules_tbs")
+    injected = {key[4:]: int(count) for key, count in stats.items()
+                if key.startswith("inj_")}
+    if not (quarantined or fallback or injected or
+            stats.get("recovered_faults") or stats.get("watchdog_trips")):
+        return
+    print(f"quarantined rules  : {quarantined:.0f}")
+    tiers = {key[5:-4]: int(count) for key, count in stats.items()
+             if key.startswith("tier_") and key.endswith("_tbs")}
+    print("fallback tiers     : " +
+          " ".join(f"{tier}={count}" for tier, count in tiers.items()))
+    print(f"faults recovered   : {stats.get('recovered_faults', 0):.0f}"
+          f" (transient {stats.get('transient_faults', 0):.0f})")
+    if injected:
+        print("injected           : " +
+              " ".join(f"{site}={count}"
+                       for site, count in sorted(injected.items())))
+    if stats.get("watchdog_trips"):
+        print(f"watchdog trips     : {stats['watchdog_trips']:.0f}")
 
 
 def cmd_run(args) -> int:
@@ -50,8 +84,7 @@ def cmd_run(args) -> int:
         print(f"unknown workload {args.workload!r} "
               f"(try: python -m repro list)", file=sys.stderr)
         return 2
-    _print_run(run_workload(workload, args.engine))
-    return 0
+    return _run_and_print(workload, args)
 
 
 def cmd_exec(args) -> int:
@@ -60,7 +93,75 @@ def cmd_exec(args) -> int:
     with open(args.file) as handle:
         body = handle.read()
     workload = Workload(name=args.file, body=body)
-    _print_run(run_workload(workload, args.engine))
+    return _run_and_print(workload, args)
+
+
+def _run_and_print(workload, args) -> int:
+    from .common.errors import ReproError
+
+    try:
+        result = run_workload(workload, args.engine, inject=args.inject)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    _print_run(result)
+    return 0
+
+
+#: The fault-smoke scenario grid: (name, spec template).  Every scenario
+#: must finish with the workload's expected output and exit code 0.
+SMOKE_SCENARIOS = (
+    ("fetch", "seed={seed},fetch=0.05"),
+    ("mem", "seed={seed},mem=0.05"),
+    ("helper", "seed={seed},helper=0.05"),
+    ("irq-storm", "seed={seed},irq-storm=0.0002"),
+    ("rule-crash", "seed={seed},rule-crash=0.02"),
+    ("rule-corrupt", "seed={seed},rule-corrupt=SUB,rule-corrupt=EOR"),
+    ("rule-wrong", "seed={seed},rule-wrong=SUB"),
+)
+
+SMOKE_WORKLOADS = ("cpu-prime", "fileio")
+
+
+def cmd_faultsmoke(args) -> int:
+    from .harness import format_table
+
+    rows = []
+    failures = 0
+    for name, template in SMOKE_SCENARIOS:
+        for seed in range(1, args.seeds + 1):
+            for workload_name in SMOKE_WORKLOADS:
+                spec = template.format(seed=seed)
+                workload = ALL_WORKLOADS[workload_name]
+                try:
+                    result = run_workload(workload, args.engine,
+                                          inject=spec)
+                except Exception as error:  # noqa: BLE001 - report all
+                    failures += 1
+                    rows.append([name, seed, workload_name, "FAIL",
+                                 "-", "-", "-", str(error)[:60]])
+                    continue
+                stats = result.stats
+                injected = sum(int(count) for key, count in stats.items()
+                               if key.startswith("inj_"))
+                fallback = sum(
+                    int(count) for key, count in stats.items()
+                    if key.startswith("tier_") and key.endswith("_tbs")
+                    and key != "tier_rules_tbs")
+                rows.append([
+                    name, seed, workload_name, "ok", injected,
+                    f"{stats.get('quarantined_rules', 0):.0f}",
+                    f"{stats.get('recovered_faults', 0):.0f}",
+                    f"fallback_tbs={fallback}",
+                ])
+    print(format_table(
+        ["Scenario", "Seed", "Workload", "Result", "Injected",
+         "Quarantined", "Recovered", "Notes"], rows,
+        title=f"fault-injection smoke matrix ({args.engine})"))
+    if failures:
+        print(f"{failures} scenario(s) FAILED", file=sys.stderr)
+        return 1
+    print(f"all {len(rows)} scenarios passed")
     return 0
 
 
@@ -131,11 +232,23 @@ def main(argv=None) -> int:
     run_parser.add_argument("workload")
     run_parser.add_argument("--engine", default="rules-full",
                             choices=ENGINE_SPECS)
+    run_parser.add_argument("--inject", metavar="SPEC", default=None,
+                            help="fault-injection spec, e.g. "
+                                 "seed=7,mem=0.01,rule-corrupt=SUB")
 
     exec_parser = sub.add_parser("exec", help="run a guest assembly file")
     exec_parser.add_argument("file")
     exec_parser.add_argument("--engine", default="rules-full",
                              choices=ENGINE_SPECS)
+    exec_parser.add_argument("--inject", metavar="SPEC", default=None,
+                             help="fault-injection spec")
+
+    smoke_parser = sub.add_parser(
+        "faultsmoke", help="run the fault-injection smoke matrix")
+    smoke_parser.add_argument("--engine", default="rules-full",
+                              choices=ENGINE_SPECS)
+    smoke_parser.add_argument("--seeds", type=int, default=2,
+                              help="seeds per scenario (default 2)")
 
     compare_parser = sub.add_parser("compare",
                                     help="compare engines on a workload")
@@ -150,7 +263,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     handlers = {"list": cmd_list, "run": cmd_run, "exec": cmd_exec,
                 "compare": cmd_compare, "bench": cmd_bench,
-                "learn": cmd_learn}
+                "learn": cmd_learn, "faultsmoke": cmd_faultsmoke}
     return handlers[args.command](args)
 
 

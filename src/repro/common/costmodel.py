@@ -43,6 +43,11 @@ COST_TB_LOOKUP = 40
 # but is reported separately by the harness).
 COST_TRANSLATE_PER_INSN = 300
 
+# Executing one guest instruction in the degradation ladder's interp
+# tier (decode + dispatch + architectural bookkeeping on the host) —
+# the cost of the last-resort tier, far above any translated code.
+COST_INTERP_TIER_INSN = 30
+
 # Parsing a packed FLAGS word into QEMU's four per-bit fields, performed
 # lazily by a helper when QEMU genuinely needs the bits (Sec III-B).
 COST_LAZY_FLAGS_PARSE = 14

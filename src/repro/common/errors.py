@@ -2,9 +2,59 @@
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class DiagContext:
+    """Machine-state snapshot attached to errors for actionable reports.
+
+    Built by :meth:`repro.miniqemu.machine.Machine.diag_context` at raise
+    time; every field is optional so partially-initialized machines can
+    still attach what they know.
+    """
+
+    guest_pc: Optional[int] = None
+    mode: Optional[int] = None
+    icount: Optional[int] = None
+    engine: Optional[str] = None
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        parts = []
+        if self.guest_pc is not None:
+            parts.append(f"pc=0x{self.guest_pc:08x}")
+        if self.mode is not None:
+            parts.append(f"mode=0x{self.mode:02x}")
+        if self.icount is not None:
+            parts.append(f"icount={self.icount}")
+        if self.engine is not None:
+            parts.append(f"engine={self.engine}")
+        parts.extend(f"{key}={value}" for key, value in self.extra.items())
+        return " ".join(parts)
+
 
 class ReproError(Exception):
-    """Base class for every error raised by this library."""
+    """Base class for every error raised by this library.
+
+    Errors can carry an optional :class:`DiagContext` describing the
+    machine state at raise time; :meth:`attach_context` is chainable so
+    raise sites read ``raise Error(...).attach_context(ctx)``.
+    """
+
+    context: Optional[DiagContext] = None
+
+    def attach_context(self, context: Optional[DiagContext]) -> "ReproError":
+        if context is not None and self.context is None:
+            self.context = context
+        return self
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        if self.context is not None:
+            return f"{base} [{self.context}]"
+        return base
 
 
 class AssemblerError(ReproError):
@@ -71,6 +121,72 @@ class TranslationError(ReproError):
 
 class RuleVerificationError(ReproError):
     """Symbolic verification rejected a candidate translation rule."""
+
+
+class WatchdogTimeout(ReproError):
+    """The execution watchdog stopped a runaway TB (bounded host insns).
+
+    Structured and recoverable: the degradation ladder treats it like a
+    codegen bug (quarantine / demote / retranslate).
+    """
+
+    def __init__(self, executed: int, limit: int, tb_pc: Optional[int] = None):
+        self.executed = executed
+        self.limit = limit
+        self.tb_pc = tb_pc
+        where = f" in TB 0x{tb_pc:08x}" if tb_pc is not None else ""
+        super().__init__(
+            f"watchdog: {executed} host instructions{where} "
+            f"exceeded the per-execute bound of {limit}")
+
+
+class WakeupDeadlock(ReproError):
+    """A halted guest (wfi) has no wakeup source: a hang, made structured.
+
+    Carries the timer and interrupt-controller state so the report shows
+    *why* no interrupt can ever arrive.
+    """
+
+    def __init__(self, reason: str, timer_enabled: bool = False,
+                 timer_reload: int = 0, timer_value: int = 0,
+                 irq_line: bool = False, intc_pending: int = 0,
+                 intc_enabled: int = 0):
+        self.reason = reason
+        self.timer_enabled = timer_enabled
+        self.timer_reload = timer_reload
+        self.timer_value = timer_value
+        self.irq_line = irq_line
+        self.intc_pending = intc_pending
+        self.intc_enabled = intc_enabled
+        super().__init__(
+            f"wakeup deadlock: {reason} (timer enabled={timer_enabled} "
+            f"reload={timer_reload} value={timer_value} irq_line={irq_line} "
+            f"intc pending=0x{intc_pending:x} enabled=0x{intc_enabled:x})")
+
+
+class InjectedFault(ReproError):
+    """A fault-injection point fired (transient, retried by the engine)."""
+
+    def __init__(self, site: str, detail: str = ""):
+        self.site = site
+        self.detail = detail
+        suffix = f": {detail}" if detail else ""
+        super().__init__(f"injected fault at {site!r}{suffix}")
+
+
+class RuleApplicationError(ReproError):
+    """A learned translation rule misbehaved (translate- or execute-time).
+
+    Carries the rule key so the engine can quarantine exactly the
+    offending rule and retranslate without it.
+    """
+
+    def __init__(self, rule: str, phase: str = "execute", detail: str = ""):
+        self.rule = rule
+        self.phase = phase
+        self.detail = detail
+        suffix = f": {detail}" if detail else ""
+        super().__init__(f"rule {rule!r} failed during {phase}{suffix}")
 
 
 class GuestHalt(ReproError):

@@ -14,7 +14,8 @@ from ..miniqemu.machine import DbtEngineBase, Machine
 from ..miniqemu.tb import TranslationBlock
 from .analysis import F_ALL, analyze_block
 from .config import OptConfig, OptLevel
-from .rulebook import MatureRulebook, StructuralFilter
+from .rulebook import (MatureRulebook, QuarantineFilter, StructuralFilter,
+                       rule_key)
 from .translator import RuleTranslator
 
 
@@ -22,6 +23,7 @@ class RuleEngine(DbtEngineBase):
     """Rule-based system-level DBT (the paper's prototype)."""
 
     name = "rules"
+    tiers = ("rules", "tcg", "interp")
 
     def __init__(self, machine: Machine, level: OptLevel = OptLevel.FULL,
                  rulebook=None, config: Optional[OptConfig] = None):
@@ -29,7 +31,12 @@ class RuleEngine(DbtEngineBase):
         self.level = level
         self.config = config if config is not None \
             else OptConfig.from_level(level)
-        self.rulebook = StructuralFilter(rulebook or MatureRulebook())
+        # Quarantine sits *inside* the structural filter: a quarantined
+        # rule stops covering its instructions, so the translator (and
+        # the coverage analysis) route them through the QEMU fallback.
+        self._quarantine = QuarantineFilter(rulebook or MatureRulebook())
+        self.rulebook = StructuralFilter(self._quarantine)
+        self.ladder.quarantine = self._quarantine
         self._live_in_cache: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
@@ -71,8 +78,21 @@ class RuleEngine(DbtEngineBase):
     # Translation.
     # ------------------------------------------------------------------
 
-    def translate(self, pc: int, mmu_idx: int) -> TranslationBlock:
+    def _translate_tier(self, tier: str, pc: int,
+                        mmu_idx: int) -> TranslationBlock:
+        if tier == "rules":
+            return self.translate_rules(pc, mmu_idx)
+        return super()._translate_tier(tier, pc, mmu_idx)
+
+    def translate_rules(self, pc: int, mmu_idx: int) -> TranslationBlock:
         insns = self.fetch_block(pc)
+        injector = self.machine.injector
+        if injector.enabled:
+            # The rule-crash site models a rule whose application code
+            # itself crashes at translate time (quarantine target).
+            for insn in insns:
+                if not insn.is_branch() and self.rulebook.covers(insn):
+                    injector.rule_crash(rule_key(insn))
         translator = RuleTranslator(
             mmu_idx, self.config, rulebook=self.rulebook,
             successor_live_in=self.successor_live_in,

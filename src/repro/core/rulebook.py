@@ -50,6 +50,45 @@ class EmptyRulebook:
         return False
 
 
+def rule_key(insn: ArmInsn) -> str:
+    """The quarantine key of the rule that translates *insn*.
+
+    Learned rules are parameterized per guest opcode in this
+    implementation, so the opcode name identifies the rule; a corrupted
+    ``EOR`` rule is quarantined without touching the ``ADD`` rule.
+    """
+    return insn.op.name
+
+
+class QuarantineFilter:
+    """Runtime quarantine wrapper: misbehaving rules stop matching.
+
+    The degradation ladder quarantines a rule when its applied code
+    crashes the host interpreter, trips the watchdog, or fails the
+    online differential self-check.  A quarantined rule simply stops
+    covering its instructions, so the next translation of any affected
+    block routes them through the QEMU fallback — correctness is
+    restored at the cost of coordination overhead.
+    """
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.quarantined: dict = {}   # rule key -> reason
+        self.name = f"quarantine({inner.name})"
+
+    def covers(self, insn: ArmInsn) -> bool:
+        if rule_key(insn) in self.quarantined:
+            return False
+        return self.inner.covers(insn)
+
+    def quarantine(self, key: str, reason: str) -> bool:
+        """Quarantine *key*; returns True if it was not already out."""
+        if key in self.quarantined:
+            return False
+        self.quarantined[key] = reason
+        return True
+
+
 class StructuralFilter:
     """Adds the constrained-rule restrictions to any rulebook.
 

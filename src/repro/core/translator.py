@@ -138,6 +138,12 @@ class RuleTranslator:
             "n_system": info.n_system,
             "n_uncovered": info.n_uncovered,
             "live_in": info.live_in,
+            # Rule keys applied in this TB (for quarantine attribution;
+            # branches are always "covered" regardless of the rulebook,
+            # so they are not attributed).
+            "rules_used": sorted({item.insn.op.name for item in info.insns
+                                  if item.covered and
+                                  not item.insn.is_branch()}),
         }
         return tb
 

@@ -349,7 +349,8 @@ class ArmInsn:
         if self.mem_offset_reg is not None:
             sign = "" if self.add_offset else "-"
             off = f"{sign}{reg_name(self.mem_offset_reg)}"
-            if self.mem_shift_imm:
+            # ror #0 (RRX encoding) must not collapse to "no shift".
+            if self.mem_shift_imm or self.mem_shift != ShiftKind.LSL:
                 off += f", {SHIFT_NAMES[self.mem_shift]} #{self.mem_shift_imm}"
         else:
             sign = "" if self.add_offset else "-"

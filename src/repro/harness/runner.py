@@ -16,6 +16,8 @@ from ..common.errors import ReproError
 from ..core import OptConfig, OptLevel, make_rule_engine
 from ..kernel.kernel import build_kernel, build_user_program
 from ..miniqemu.machine import Machine
+from ..robustness import (ExecutionWatchdog, FaultInjector, FaultPlan,
+                          parse_inject_spec)
 from ..workloads.spec import Workload
 
 #: Engine specifications accepted by :func:`run_workload`.
@@ -52,19 +54,39 @@ class RunResult:
         return self.host_cost / max(self.guest_icount, 1)
 
 
+def _robustness_kwargs(inject) -> Dict:
+    """Machine kwargs for an ``--inject`` spec (str or FaultPlan)."""
+    if not inject:
+        return {}
+    plan = parse_inject_spec(inject) if isinstance(inject, str) else inject
+    if not isinstance(plan, FaultPlan):
+        raise ValueError(f"bad inject value {inject!r}")
+    return {
+        "fault_injector": FaultInjector(plan),
+        "watchdog": ExecutionWatchdog(),
+        # Silent wrong-result rules are only catchable by the online
+        # differential self-check: check every eligible TB (paranoid).
+        "selfcheck_interval": 1 if plan.wrong_rules else 0,
+    }
+
+
 def make_machine(workload: Workload, engine: str,
-                 config: Optional[OptConfig] = None) -> Machine:
+                 config: Optional[OptConfig] = None,
+                 inject=None) -> Machine:
     """Build a machine with the kernel + workload loaded and devices set up."""
+    kwargs = _robustness_kwargs(inject)
     if engine in _LEVEL_BY_SPEC:
         factory = make_rule_engine(_LEVEL_BY_SPEC[engine], config=config)
-        machine = Machine(engine="rules", rule_engine_factory=factory)
+        machine = Machine(engine="rules", rule_engine_factory=factory,
+                          **kwargs)
     elif engine == "rules-custom":
         if config is None:
             raise ValueError("rules-custom requires an OptConfig")
         factory = make_rule_engine(OptLevel.FULL, config=config)
-        machine = Machine(engine="rules", rule_engine_factory=factory)
+        machine = Machine(engine="rules", rule_engine_factory=factory,
+                          **kwargs)
     elif engine in ("interp", "tcg"):
-        machine = Machine(engine=engine)
+        machine = Machine(engine=engine, **kwargs)
     else:
         raise ValueError(f"unknown engine spec {engine!r}")
 
@@ -83,8 +105,9 @@ def make_machine(workload: Workload, engine: str,
 
 
 def run_workload(workload: Workload, engine: str,
-                 config: Optional[OptConfig] = None) -> RunResult:
-    machine = make_machine(workload, engine, config)
+                 config: Optional[OptConfig] = None,
+                 inject=None) -> RunResult:
+    machine = make_machine(workload, engine, config, inject=inject)
     exit_code = machine.run(workload.max_insns)
     output = machine.uart.text
     if workload.expected_output is not None and \

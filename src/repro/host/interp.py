@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..common.bitops import s32, u32
-from ..common.errors import HostExecutionError
+from ..common.errors import HostExecutionError, WatchdogTimeout
 from .cpu import HostCpu
 from .isa import (ECX, ESP, Imm, Mem, Reg, X86Insn, X86Op, Xmm)
 from ..common.f32 import f32_add, f32_mul, f32_sub
@@ -52,6 +52,16 @@ class HostInterpreter:
         #: called with the target TB on every chained goto_tb transition
         #: (lets the machine advance guest time without leaving the cache)
         self.on_tb_enter = None
+        #: optional ExecutionWatchdog bounding host insns per execute()
+        self.watchdog = None
+        #: True once the current execute() call performed non-idempotent
+        #: work (MMIO, exception delivery) — rollback+replay is then
+        #: unsafe; the runtime sets this via note_side_effect().
+        self.tb_side_effects = False
+
+    def note_side_effect(self, kind: str = "") -> None:
+        """Mark the current execute() call as non-replayable."""
+        self.tb_side_effects = True
 
     # -- cost accounting ---------------------------------------------------------
 
@@ -100,6 +110,9 @@ class HostInterpreter:
         index = 0
         executed = 0
         pending_chain = None
+        self.tb_side_effects = False
+        limit = self.watchdog.max_host_insns if self.watchdog is not None \
+            else _RUNAWAY_LIMIT
         while True:
             if index >= len(insns):
                 raise HostExecutionError(
@@ -109,8 +122,10 @@ class HostInterpreter:
             executed += 1
             self.total += 1
             self.by_tag[insn.tag] += 1
-            if executed > _RUNAWAY_LIMIT:
-                raise HostExecutionError("runaway TB execution")
+            if executed > limit:
+                if self.watchdog is not None:
+                    self.watchdog.trips += 1
+                raise WatchdogTimeout(executed, limit, tb_pc=tb.pc)
             op = insn.op
 
             if op is X86Op.MOV:

@@ -25,11 +25,14 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from ..common.costmodel import COST_TB_LOOKUP, COST_TRANSLATE_PER_INSN
-from ..common.errors import (DecodingError, GuestHalt, MemoryFault,
-                             ReproError, TranslationError)
+from ..common.costmodel import (COST_INTERP_TIER_INSN, COST_TB_LOOKUP,
+                                COST_TRANSLATE_PER_INSN)
+from ..common.errors import (DecodingError, DiagContext, GuestHalt,
+                             HostExecutionError, InjectedFault, MemoryFault,
+                             ReproError, RuleApplicationError,
+                             TranslationError, WatchdogTimeout)
 from ..devices.blockdev import BlockDevice
-from ..devices.intc import InterruptController
+from ..devices.intc import IRQ_TIMER, InterruptController
 from ..devices.nic import Nic
 from ..devices.syscon import SystemController
 from ..devices.timer import Timer
@@ -42,6 +45,10 @@ from ..host.cpu import HostCpu
 from ..host.interp import HostInterpreter
 from ..host.isa import ENV_REG
 from ..host.memory import HostMemory
+from ..robustness.degrade import (DegradationController, SelfCheck,
+                                  tb_selfcheckable)
+from ..robustness.faultinject import NullInjector
+from ..robustness.guard import MachineSnapshot, fast_forward_halt
 from ..softmmu.bus import GuestBus
 from ..softmmu.memory import PhysicalMemoryMap
 from ..softmmu.pagetable import PageWalker
@@ -68,7 +75,9 @@ class Machine:
     """A full guest system plus the host-side DBT state."""
 
     def __init__(self, ram_size: int = DEFAULT_RAM_SIZE,
-                 engine: str = "tcg", rule_engine_factory=None):
+                 engine: str = "tcg", rule_engine_factory=None,
+                 fault_injector=None, watchdog=None,
+                 selfcheck_interval: int = 0):
         # Guest side.
         self.cpu = GuestCpu()
         self.memory = PhysicalMemoryMap()
@@ -106,6 +115,15 @@ class Machine:
         self.runtime.host = self.host
         self.host.runtime = self.runtime
 
+        # Robustness: fault injection, watchdog, self-check sampling.
+        # Set before the engine is built — engines read these to size
+        # their degradation ladder.
+        self.injector = fault_injector if fault_injector is not None \
+            else NullInjector()
+        self.watchdog = watchdog
+        self.selfcheck_interval = selfcheck_interval
+        self.host.watchdog = watchdog
+
         # Execution engine.
         if engine == "interp":
             self.engine = InterpEngine(self)
@@ -134,6 +152,11 @@ class Machine:
     def advance_time(self, guest_insns: int) -> None:
         self.guest_icount += guest_insns
         self.timer.advance(guest_insns)
+        if self.injector.enabled and self.injector.fires("irq-storm"):
+            # Spurious but *ackable* interrupt: the guest's IRQ handler
+            # reads INTC STATUS and acks the timer, so storms exercise
+            # delivery without wedging the machine.
+            self.intc.raise_irq(IRQ_TIMER)
         self.runtime.update_irq()
 
     # -- program loading --------------------------------------------------------
@@ -154,7 +177,21 @@ class Machine:
             self.exit_code = halt.exit_code
             return halt.exit_code
         raise ReproError(
-            f"guest did not halt within {max_guest_insns} instructions")
+            f"guest did not halt within {max_guest_insns} instructions"
+        ).attach_context(self.diag_context())
+
+    # -- diagnostics -----------------------------------------------------------------
+
+    def diag_context(self, **extra) -> DiagContext:
+        """Machine-state snapshot for error reports (attach at raise time)."""
+        engine = getattr(self, "engine", None)
+        name = getattr(engine, "name", None)
+        # The interpreter engine keeps the live pc in the guest CPU; the
+        # DBT engines keep it in env.
+        pc = self.cpu.regs[PC] if name == "interp" else self.env.pc
+        return DiagContext(guest_pc=pc, mode=self.cpu.mode,
+                           icount=self.guest_icount, engine=name,
+                           extra=extra)
 
     # -- metrics ----------------------------------------------------------------------
 
@@ -165,6 +202,10 @@ class Machine:
             "irq_delivered": self.irq_delivered,
             "tlb_fills": self.tlb.fill_count,
         }
+        for site, count in self.injector.counts_by_site().items():
+            base[f"inj_{site.replace('-', '_')}"] = float(count)
+        if self.watchdog is not None:
+            base["watchdog_trips"] = float(self.watchdog.trips)
         base.update(self.engine.stats())
         return base
 
@@ -188,14 +229,8 @@ class InterpEngine:
             interp.step()
             machine.advance_time(max(interp.icount - before, 1))
             if cpu.halted and not cpu.irq_line:
-                self._fast_forward_halt()
-
-    def _fast_forward_halt(self) -> None:
-        machine = self.machine
-        if not machine.timer.enabled or machine.timer.reload == 0:
-            raise ReproError("guest halted with no wakeup source (wfi)")
-        while machine.cpu.halted and not machine.cpu.irq_line:
-            machine.advance_time(max(machine.timer.value, 1))
+                fast_forward_halt(
+                    machine, lambda: not (cpu.halted and not cpu.irq_line))
 
     def stats(self) -> Dict[str, float]:
         return {"engine": 0.0, "host_cost": float(self.interp.icount),
@@ -203,20 +238,126 @@ class InterpEngine:
 
 
 class DbtEngineBase:
-    """Shared cpu_exec loop for the TCG and rule-based engines."""
+    """Shared cpu_exec loop for the TCG and rule-based engines.
+
+    The base class also owns the *degradation ladder* (see
+    ``docs/internals.md``): every engine translates through an ordered
+    list of tiers (:attr:`tiers`, strongest first) and falls down the
+    ladder when a tier's translation or generated code misbehaves.  The
+    last tier, ``interp``, executes the block with the reference ARM
+    interpreter and cannot fail for codegen reasons.
+    """
 
     name = "dbt"
+    #: Translation tiers, strongest first (RuleEngine prepends "rules").
+    tiers = ("tcg", "interp")
 
     def __init__(self, machine: Machine):
         self.machine = machine
         self.cache = CodeCache()
         self.translation_cost = 0
         machine.host.on_tb_enter = self._on_tb_enter  # set below via attr
+        self.ladder = DegradationController(self.tiers)
+        self.selfcheck = SelfCheck(interval=machine.selfcheck_interval,
+                                   tlb_size=len(machine.tlb.data))
+        # Pre-execute snapshots are only worth taking when some fault
+        # source can actually fire (keeps the normal path allocation-free).
+        self._recovery = (machine.injector.enabled or
+                          machine.watchdog is not None or
+                          self.selfcheck.enabled)
+        self._tier_interp = Interpreter(machine.cpu, machine.bus)
 
-    # Each engine provides: translate(pc, mmu_idx) -> TranslationBlock.
+    # -- translation (the tier ladder) -------------------------------------------
 
     def translate(self, pc: int, mmu_idx: int) -> TranslationBlock:
-        raise NotImplementedError
+        """Translate through the tier ladder, degrading on failure.
+
+        Genuine guest conditions (fetch fault -> prefetch abort,
+        undecodable first word -> undef) and transient injected faults
+        propagate to the run loop; anything else a tier raises is
+        treated as a codegen/rule bug: the offending rule is
+        quarantined (when attributable) or the block's tier floor is
+        lowered, and the next tier is tried.
+        """
+        ladder = self.ladder
+        tier_index = ladder.start_tier(pc, mmu_idx)
+        last_error = None
+        while tier_index < len(self.tiers):
+            tier = self.tiers[tier_index]
+            try:
+                tb = self._translate_tier(tier, pc, mmu_idx)
+            except (MemoryFault, DecodingError, InjectedFault):
+                raise
+            except RuleApplicationError as error:
+                last_error = error
+                if ladder.quarantine_rule(error.rule,
+                                          f"translate: {error}"):
+                    # Newly quarantined: the same tier now routes the
+                    # rule's instructions through the fallback, so retry
+                    # it before degrading the whole block.
+                    self.cache.invalidate_rules([error.rule])
+                    continue
+                tier_index += 1
+                continue
+            except Exception as error:  # noqa: BLE001 - the ladder exists
+                last_error = error      # to absorb arbitrary codegen bugs
+                if ladder.start_tier(pc, mmu_idx) == tier_index:
+                    ladder.demote(pc, mmu_idx)
+                tier_index += 1
+                continue
+            tb.meta["tier"] = tier
+            if tier == "rules":
+                tb.meta["selfcheckable"] = tb_selfcheckable(tb)
+            ladder.note_translated(tier_index)
+            return tb
+        raise TranslationError(
+            f"all translation tiers failed for 0x{pc:08x}"
+        ).attach_context(self.machine.diag_context(last_error=str(last_error)))
+
+    def _translate_tier(self, tier: str, pc: int,
+                        mmu_idx: int) -> TranslationBlock:
+        if tier == "tcg":
+            return self.translate_tcg(pc, mmu_idx)
+        if tier == "interp":
+            return self._make_interp_tb(pc, mmu_idx)
+        raise TranslationError(f"engine {self.name} has no tier {tier!r}")
+
+    def translate_tcg(self, pc: int, mmu_idx: int) -> TranslationBlock:
+        """The MiniQEMU pipeline (ARM -> TCG IR -> x86); the shared
+        fallback tier below the rules engine."""
+        from ..guest.isa import Op
+        from ..ir.opt import optimize
+
+        insns = self.fetch_block(pc)
+        frontend = TcgFrontend(mmu_idx)
+        ir_insns, jmp_pcs = frontend.translate(pc, insns)
+        ir_insns = optimize(ir_insns)
+        backend = TcgBackend(mmu_idx)
+        code = backend.lower(ir_insns)
+        tb = TranslationBlock(pc=pc, mmu_idx=mmu_idx, guest_insns=insns,
+                              code=code)
+        tb.jmp_pc = list(jmp_pcs)
+        tb.meta = {
+            "n_memory": sum(1 for insn in insns if insn.is_memory()),
+            "n_system": sum(1 for insn in insns
+                            if insn.is_system() or insn.op is Op.SVC),
+        }
+        return tb
+
+    def _make_interp_tb(self, pc: int, mmu_idx: int) -> TranslationBlock:
+        """Last-resort tier: an empty TB executed by the reference
+        interpreter (cannot fail for codegen reasons)."""
+        from ..guest.isa import Op
+
+        insns = self.fetch_block(pc)
+        tb = TranslationBlock(pc=pc, mmu_idx=mmu_idx, guest_insns=insns,
+                              code=[])
+        tb.meta = {
+            "n_memory": sum(1 for insn in insns if insn.is_memory()),
+            "n_system": sum(1 for insn in insns
+                            if insn.is_system() or insn.op is Op.SVC),
+        }
+        return tb
 
     # -- helpers ----------------------------------------------------------------
 
@@ -227,6 +368,7 @@ class DbtEngineBase:
     def fetch_block(self, pc: int):
         """Read a guest basic block's instructions at translation time."""
         machine = self.machine
+        machine.injector.maybe_fault("fetch", f"pc=0x{pc:08x}")
         insns = []
         addr = pc
         while len(insns) < MAX_TB_INSNS:
@@ -255,6 +397,7 @@ class DbtEngineBase:
         tb = self.cache.lookup(pc, mmu_idx)
         if tb is None:
             tb = self.translate(pc, mmu_idx)
+            self.machine.injector.instrument_tb(tb)
             self.cache.insert(tb)
             cost = COST_TRANSLATE_PER_INSN * tb.guest_insn_count
             self.machine.host.charge(cost, "translate")
@@ -288,21 +431,132 @@ class DbtEngineBase:
                 from ..guest.cpu import MODE_UND, VECTOR_UNDEF
                 runtime.deliver_exception(MODE_UND, VECTOR_UNDEF, pc + 4)
                 continue
+            except InjectedFault as fault:
+                # Transient translation-time fault: retry (bounded).
+                if not self.ladder.note_transient():
+                    raise fault.attach_context(machine.diag_context(
+                        detail="transient-retry budget exhausted"))
+                self.ladder.recovered_faults += 1
+                continue
             host.charge(COST_TB_LOOKUP, "runtime")
+            if tb.meta.get("tier") == "interp":
+                self._execute_interp_tier(tb)
+                self.ladder.note_progress()
+                continue
+            snapshot = MachineSnapshot(machine) if self._recovery else None
+            if self.selfcheck.should_check(tb) and \
+                    not self.selfcheck.verify(tb, bytes(machine.env.data)):
+                # Differential mismatch *before* the TB ran: quarantine
+                # its rules and retranslate; live state is untouched.
+                self._condemn_tb(tb, "self-check mismatch")
+                continue
             self._before_execute(tb)
             try:
                 exit_info = host.execute(tb)
             except TbExitException:
+                self.ladder.note_progress()
                 continue  # helper delivered an exception; env.pc updated
+            except RuleApplicationError as error:
+                self._recover(tb, snapshot, error, rule=error.rule)
+                continue
+            except InjectedFault as fault:
+                # Transient execute-time fault (softmmu/helper): roll
+                # back to the TB boundary and replay.
+                if snapshot is None or host.tb_side_effects or \
+                        not self.ladder.note_transient():
+                    raise fault.attach_context(machine.diag_context())
+                snapshot.restore(machine)
+                self.ladder.recovered_faults += 1
+                continue
+            except (WatchdogTimeout, HostExecutionError) as error:
+                self._recover(tb, snapshot, error)
+                continue
+            self.ladder.note_progress()
             status = exit_info.status
-            if exit_info.chain is not None and status == EXIT_PC_UPDATED:
+            if exit_info.chain is not None and status == EXIT_PC_UPDATED \
+                    and not self.selfcheck.paranoid:
+                # Paranoid self-checking keeps every entry visible to the
+                # run loop (a chained jump would bypass the check).
                 self._chain(*exit_info.chain)
             if status in (EXIT_PC_UPDATED, EXIT_INTERRUPT, EXIT_EXCEPTION):
                 continue
             if status == EXIT_HALT:
                 self._fast_forward_halt()
                 continue
-            raise ReproError(f"unexpected TB exit status {status}")
+            raise ReproError(
+                f"unexpected TB exit status {status}"
+            ).attach_context(machine.diag_context(tb_pc=hex(tb.pc)))
+
+    # -- fault recovery (the execute-time half of the ladder) ------------------
+
+    def _recover(self, tb: TranslationBlock, snapshot, error,
+                 rule: Optional[str] = None) -> None:
+        """Roll back a faulted TB execution and degrade its translation.
+
+        Only safe when the partial execution performed no non-idempotent
+        work (MMIO, exception delivery) — otherwise the error propagates
+        with diagnostics attached.
+        """
+        machine = self.machine
+        if snapshot is None or machine.host.tb_side_effects:
+            raise error.attach_context(machine.diag_context(
+                tb_pc=hex(tb.pc),
+                side_effects=machine.host.tb_side_effects))
+        snapshot.restore(machine)
+        if rule is not None:
+            self.ladder.quarantine_rule(rule, f"execute: {error}")
+            self.cache.invalidate_rules([rule])
+        else:
+            self.ladder.demote(tb.pc, tb.mmu_idx)
+        if self.cache.lookup(tb.pc, tb.mmu_idx) is tb:
+            self.cache.invalidate(tb, machine.diag_context())
+        self.ladder.recovered_faults += 1
+
+    def _condemn_tb(self, tb: TranslationBlock, reason: str) -> None:
+        """Quarantine a TB's rules and evict it (self-check failure)."""
+        rules = sorted(tb.meta.get("rules_used") or ())
+        newly = [rule for rule in rules
+                 if self.ladder.quarantine_rule(rule, reason)]
+        if rules:
+            self.cache.invalidate_rules(rules)
+        if self.cache.lookup(tb.pc, tb.mmu_idx) is tb:
+            self.cache.invalidate(tb, self.machine.diag_context())
+        if not newly:
+            # No rule left to blame: degrade the whole block instead.
+            self.ladder.demote(tb.pc, tb.mmu_idx)
+        self.ladder.recovered_faults += 1
+
+    # -- the interp tier -------------------------------------------------------
+
+    def _execute_interp_tier(self, tb: TranslationBlock) -> None:
+        """Execute one block with the reference interpreter.
+
+        Architectural state flows env -> cpu, the interpreter steps
+        until control leaves the block (branch, exception, halt, or the
+        block's own length), and the result flows cpu -> env so the
+        cpu_exec loop continues exactly as after a translated TB.
+        """
+        machine = self.machine
+        runtime = machine.runtime
+        cpu = machine.cpu
+        interp = self._tier_interp
+        runtime.env_to_cpu()
+        tb.exec_count += 1
+        end = tb.pc + 4 * tb.guest_insn_count
+        mode = cpu.mode
+        steps = 0
+        while (tb.pc <= cpu.regs[PC] < end and steps < tb.guest_insn_count
+               and not cpu.halted and cpu.mode == mode):
+            before = interp.icount
+            interp.step()
+            machine.advance_time(max(interp.icount - before, 1))
+            machine.host.charge(COST_INTERP_TIER_INSN, "interp_tier")
+            steps += 1
+        runtime.cpu_to_env()
+        if cpu.halted and not cpu.irq_line:
+            fast_forward_halt(
+                machine, lambda: not (cpu.halted and not cpu.irq_line))
+            runtime.cpu_to_env()
 
     def _before_execute(self, tb: TranslationBlock) -> None:
         """Pre-charge guest time for the first TB of an execute() call."""
@@ -319,17 +573,29 @@ class DbtEngineBase:
         if tb.jmp_pc[slot] is not None and tb.jmp_pc[slot] == target_pc:
             next_tb = self.cache.lookup(target_pc, self.mmu_idx())
             if next_tb is None:
-                next_tb = self.get_tb(target_pc, self.mmu_idx())
+                try:
+                    next_tb = self.get_tb(target_pc, self.mmu_idx())
+                except (MemoryFault, DecodingError):
+                    # Chaining is an optimization: let the run loop take
+                    # the genuine guest fault on the unchained path.
+                    return
+                except InjectedFault:
+                    # Transient translation fault while chaining: drop
+                    # the chain attempt (the run loop retries later).
+                    self.ladder.transient_faults += 1
+                    self.ladder.recovered_faults += 1
+                    return
+            if next_tb.meta.get("injected") or \
+                    next_tb.meta.get("tier") == "interp":
+                # Never chain into a corrupted TB (its entry trap must
+                # surface at a rollback-safe TB boundary) or an
+                # interp-tier block (it has no host code to jump into).
+                return
             tb.jmp_target[slot] = next_tb
 
     def _fast_forward_halt(self) -> None:
         machine = self.machine
-        if not machine.timer.enabled or machine.timer.reload == 0:
-            raise ReproError("guest halted with no wakeup source (wfi)")
-        while not machine.env.read(ENV_IRQ):
-            machine.advance_time(max(machine.timer.value, 1))
-            if not machine.cpu.irq_line and not machine.timer.enabled:
-                raise ReproError("halted guest cannot wake up")
+        fast_forward_halt(machine, lambda: machine.env.read(ENV_IRQ))
 
     # -- statistics -------------------------------------------------------------------
 
@@ -341,7 +607,7 @@ class DbtEngineBase:
             memory_dyn += weight * tb.meta.get("n_memory", 0)
             system_dyn += weight * tb.meta.get("n_system", 0)
             check_dyn += weight
-        return {
+        base = {
             "host_instructions": float(host.total),
             "host_cost": float(host.cost),
             "translation_cost": float(self.translation_cost),
@@ -351,32 +617,24 @@ class DbtEngineBase:
             "memory_insns_dyn": float(memory_dyn),
             "system_insns_dyn": float(system_dyn),
             "interrupt_checks_dyn": float(check_dyn),
+            "tb_invalidated": float(self.cache.invalidated),
             **{f"tag_{tag}": float(count)
                for tag, count in host.by_tag.items()},
         }
+        base.update(self.ladder.stats())
+        if self.machine.watchdog is not None:
+            base["watchdog_trips"] = float(self.machine.watchdog.trips)
+        if self.selfcheck.enabled:
+            base.update({
+                "selfcheck_checks": float(self.selfcheck.checks),
+                "selfcheck_failures": float(self.selfcheck.failures),
+                "selfcheck_inconclusive":
+                    float(self.selfcheck.inconclusive),
+            })
+        return base
 
 
 class TcgEngine(DbtEngineBase):
     """The MiniQEMU baseline: ARM -> TCG IR -> x86."""
 
     name = "tcg"
-
-    def translate(self, pc: int, mmu_idx: int) -> TranslationBlock:
-        from ..ir.opt import optimize
-
-        insns = self.fetch_block(pc)
-        frontend = TcgFrontend(mmu_idx)
-        ir_insns, jmp_pcs = frontend.translate(pc, insns)
-        ir_insns = optimize(ir_insns)
-        backend = TcgBackend(mmu_idx)
-        code = backend.lower(ir_insns)
-        tb = TranslationBlock(pc=pc, mmu_idx=mmu_idx, guest_insns=insns,
-                              code=code)
-        tb.jmp_pc = list(jmp_pcs)
-        from ..guest.isa import Op
-        tb.meta = {
-            "n_memory": sum(1 for insn in insns if insn.is_memory()),
-            "n_system": sum(1 for insn in insns
-                            if insn.is_system() or insn.op is Op.SVC),
-        }
-        return tb

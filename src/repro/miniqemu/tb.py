@@ -9,8 +9,9 @@ directly at the successor TB once it is translated.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
+from ..common.errors import ReproError
 from ..guest.isa import ArmInsn
 
 # TB exit statuses (the EXIT_TB immediate).
@@ -54,6 +55,7 @@ class CodeCache:
         self._tbs: Dict[Tuple[int, int], TranslationBlock] = {}
         self.translated_guest_insns = 0   # static translation statistics
         self.translated_host_insns = 0
+        self.invalidated = 0              # TBs evicted by the ladder
 
     def lookup(self, pc: int, mmu_idx: int) -> Optional[TranslationBlock]:
         return self._tbs.get((pc, mmu_idx))
@@ -65,6 +67,43 @@ class CodeCache:
 
     def flush(self) -> None:
         self._tbs.clear()
+
+    # -- invalidation (the degradation ladder's eviction path) -------------
+
+    def invalidate(self, tb: TranslationBlock,
+                   context=None) -> None:
+        """Evict one TB and unlink every chain pointing at it."""
+        key = (tb.pc, tb.mmu_idx)
+        if self._tbs.get(key) is not tb:
+            raise ReproError(
+                f"cannot invalidate unknown TB 0x{tb.pc:08x} "
+                f"mmu{tb.mmu_idx}").attach_context(context)
+        del self._tbs[key]
+        self.invalidated += 1
+        self._unlink({id(tb)})
+
+    def invalidate_rules(self, rules: Iterable[str]) -> int:
+        """Evict every TB translated with any of the given rule keys.
+
+        Used when a learned rule is quarantined: all code generated from
+        it is suspect, not just the TB that crashed.  Returns the number
+        of TBs evicted.
+        """
+        wanted = set(rules)
+        victims = [tb for tb in self._tbs.values()
+                   if wanted.intersection(tb.meta.get("rules_used", ()))]
+        for tb in victims:
+            del self._tbs[(tb.pc, tb.mmu_idx)]
+        self.invalidated += len(victims)
+        self._unlink({id(tb) for tb in victims})
+        return len(victims)
+
+    def _unlink(self, removed_ids: set) -> None:
+        """Clear chain slots that point at evicted TBs (by identity)."""
+        for tb in self._tbs.values():
+            for slot in (0, 1):
+                if id(tb.jmp_target[slot]) in removed_ids:
+                    tb.jmp_target[slot] = None
 
     def __len__(self) -> int:
         return len(self._tbs)

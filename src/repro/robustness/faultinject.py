@@ -1,0 +1,246 @@
+"""Deterministic, seed-driven fault injection for the whole DBT stack.
+
+Every injection point is *named* and consulted through one
+:class:`FaultInjector` owned by the machine, so a run is reproducible
+from ``(seed, plan)`` alone: each site draws from its own
+:class:`random.Random` stream (keyed by seed and site name), which makes
+firing patterns independent of how often *other* sites are consulted.
+
+Injection sites threaded through the stack:
+
+===============  ============================================  ==========
+site             where it fires                                effect
+===============  ============================================  ==========
+``fetch``        translation-time guest fetch                  transient
+                 (:meth:`DbtEngineBase.fetch_block`)           retry
+``mem``          softmmu slow-path entry                       transient
+                 (:meth:`QemuRuntime.memory_access`)           retry
+``helper``       system/VFP helper entry                       rollback +
+                 (:mod:`repro.miniqemu.helpers`)               replay
+``irq-storm``    :meth:`Machine.advance_time` — spurious but   guest
+                 *ackable* timer interrupts                    handles it
+``rule-crash``   rule application at translate time            quarantine
+                 (:meth:`RuleEngine.translate`)
+``rule-corrupt`` post-translate TB instrumentation: a trap     quarantine
+                 that models a crashing rule body              +invalidate
+``rule-wrong``   post-translate TB instrumentation: a silent   self-check
+                 wrong-result corruption of a pure TB          catches it
+===============  ============================================  ==========
+
+Rate sites (``fetch``/``mem``/``helper``/``irq-storm``/``rule-crash``)
+fire probabilistically; the op-targeted sites (``rule-corrupt=OP``,
+``rule-wrong=OP``) fire deterministically on every rules-tier TB that
+applied the named rule, modelling a *persistently* bad learned rule.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional
+
+from ..common.errors import InjectedFault, ReproError, RuleApplicationError
+
+#: Rate-style sites (value is a firing probability per consultation).
+RATE_SITES = ("fetch", "mem", "helper", "irq-storm", "rule-crash")
+#: Op-targeted sites (value is a guest Op name, e.g. ``EOR``).
+OP_SITES = ("rule-corrupt", "rule-wrong")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """What to inject: per-site rates plus targeted-rule corruption."""
+
+    seed: int = 0
+    rates: Dict[str, float] = field(default_factory=dict)
+    corrupt_rules: FrozenSet[str] = frozenset()   # trap on application
+    wrong_rules: FrozenSet[str] = frozenset()     # silent wrong result
+
+    def describe(self) -> str:
+        parts = [f"seed={self.seed}"]
+        parts += [f"{site}={rate}" for site, rate in sorted(self.rates.items())]
+        parts += [f"rule-corrupt={op}" for op in sorted(self.corrupt_rules)]
+        parts += [f"rule-wrong={op}" for op in sorted(self.wrong_rules)]
+        return ",".join(parts)
+
+
+def parse_inject_spec(spec: str) -> FaultPlan:
+    """Parse a ``--inject`` spec like ``seed=7,mem=0.001,rule-corrupt=EOR``.
+
+    Comma-separated ``key=value`` pairs; ``seed`` is an integer, rate
+    sites take floats in [0, 1], and the op-targeted sites take a guest
+    Op name (repeatable).
+    """
+    seed = 0
+    rates: Dict[str, float] = {}
+    corrupt = set()
+    wrong = set()
+    for item in filter(None, (part.strip() for part in spec.split(","))):
+        if "=" not in item:
+            raise ReproError(f"bad --inject item {item!r} (want key=value)")
+        key, _, value = item.partition("=")
+        key = key.strip()
+        value = value.strip()
+        if key == "seed":
+            seed = int(value, 0)
+        elif key in RATE_SITES:
+            rate = float(value)
+            if not 0.0 <= rate <= 1.0:
+                raise ReproError(f"--inject rate for {key!r} out of [0,1]: "
+                                 f"{value}")
+            rates[key] = rate
+        elif key == "rule-corrupt":
+            corrupt.add(value.upper())
+        elif key == "rule-wrong":
+            wrong.add(value.upper())
+        else:
+            known = ", ".join(RATE_SITES + OP_SITES + ("seed",))
+            raise ReproError(f"unknown --inject site {key!r} (one of: "
+                             f"{known})")
+    return FaultPlan(seed=seed, rates=rates,
+                     corrupt_rules=frozenset(corrupt),
+                     wrong_rules=frozenset(wrong))
+
+
+def _make_trap_helper(rule: str):
+    """A helper that models a crashing rule body (raises immediately)."""
+
+    def helper_injected_trap(runtime) -> None:
+        raise RuleApplicationError(rule, phase="execute",
+                                   detail="injected corruption trap")
+
+    helper_injected_trap.__name__ = f"helper_trap_{rule.lower()}"
+    helper_injected_trap.injected = True
+    return helper_injected_trap
+
+
+def _make_wrong_helper(rule: str, reg: int, mask: int):
+    """A helper that silently corrupts a register (wrong-result rule)."""
+
+    def helper_injected_wrong(runtime) -> None:
+        env = runtime.env
+        env.set_reg(reg, env.get_reg(reg) ^ mask)
+
+    helper_injected_wrong.__name__ = f"helper_wrong_{rule.lower()}"
+    helper_injected_wrong.injected = True
+    return helper_injected_wrong
+
+
+class NullInjector:
+    """No-fault injector: every hot-path hook is a cheap no-op."""
+
+    enabled = False
+    plan: Optional[FaultPlan] = None
+
+    def fires(self, site: str) -> bool:
+        return False
+
+    def maybe_fault(self, site: str, detail: str = "") -> None:
+        return None
+
+    def instrument_tb(self, tb) -> None:
+        return None
+
+    def counts_by_site(self) -> Dict[str, int]:
+        return {}
+
+
+class FaultInjector(NullInjector):
+    """Deterministic injector driving every named fault site.
+
+    Execute-time corruptions are applied as a *TB-entry* trap (the first
+    host instruction of the corrupted TB raises), which exercises the
+    same quarantine / invalidate / retranslate recovery path as a
+    mid-block codegen crash while keeping replay safe: nothing has
+    executed when the fault surfaces, so no guest side effects need to
+    be unwound.
+    """
+
+    enabled = True
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.counts: Dict[str, int] = {}
+        self._streams: Dict[str, random.Random] = {}
+
+    # -- deterministic per-site randomness ---------------------------------
+
+    def _stream(self, site: str) -> random.Random:
+        stream = self._streams.get(site)
+        if stream is None:
+            stream = random.Random(f"{self.plan.seed}:{site}")
+            self._streams[site] = stream
+        return stream
+
+    def _count(self, site: str) -> None:
+        self.counts[site] = self.counts.get(site, 0) + 1
+
+    # -- rate sites --------------------------------------------------------
+
+    def fires(self, site: str) -> bool:
+        rate = self.plan.rates.get(site, 0.0)
+        if rate <= 0.0:
+            return False
+        if self._stream(site).random() < rate:
+            self._count(site)
+            return True
+        return False
+
+    def maybe_fault(self, site: str, detail: str = "") -> None:
+        """Raise a transient :class:`InjectedFault` when the site fires."""
+        if self.fires(site):
+            raise InjectedFault(site, detail)
+
+    # -- targeted rule corruption ------------------------------------------
+
+    def rule_crash(self, rule: str) -> None:
+        """Translate-time rule application crash (``rule-crash`` site)."""
+        if self.fires("rule-crash"):
+            raise RuleApplicationError(rule, phase="translate",
+                                       detail="injected translator crash")
+
+    def instrument_tb(self, tb) -> None:
+        """Corrupt a freshly-translated rules-tier TB in place.
+
+        Prepends an injected helper call (shifting every resolved
+        intra-TB jump target by one slot):
+
+        - ``rule-corrupt``: the helper raises, modelling a crash;
+        - ``rule-wrong``: the helper silently flips a bit in r3, which
+          only the online differential self-check can notice.
+        """
+        if not tb.code or tb.meta.get("tier", "rules") != "rules":
+            return
+        used = tb.meta.get("rules_used") or ()
+        hit = sorted(self.plan.corrupt_rules.intersection(used))
+        if hit:
+            self._count("rule-corrupt")
+            self._prepend(tb, _make_trap_helper(hit[0]))
+            tb.meta["injected"] = "rule-corrupt"
+            return
+        # Wrong-result corruption only targets *pure* (self-checkable)
+        # TBs: the differential self-check is the detector under test,
+        # and an undetectable silent corruption would just break the
+        # workload with no recovery path to exercise.
+        if not tb.meta.get("selfcheckable", False):
+            return
+        hit = sorted(self.plan.wrong_rules.intersection(used))
+        if hit:
+            self._count("rule-wrong")
+            self._prepend(tb, _make_wrong_helper(hit[0], reg=3, mask=0x1000))
+            tb.meta["injected"] = "rule-wrong"
+
+    @staticmethod
+    def _prepend(tb, helper) -> None:
+        from ..host.isa import X86Insn, X86Op
+
+        for insn in tb.code:
+            if insn.target_index >= 0:
+                insn.target_index += 1
+        tb.code.insert(0, X86Insn(X86Op.CALL_HELPER, helper=helper,
+                                  tag="injected"))
+
+    # -- reporting ---------------------------------------------------------
+
+    def counts_by_site(self) -> Dict[str, int]:
+        return dict(self.counts)
