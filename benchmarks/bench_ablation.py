@@ -52,7 +52,10 @@ def test_ablation(benchmark, save):
         ["Configuration", "Speedup (x)"],
         [[label, value] for label, value in speedups.items()],
         title="Ablation: individual optimization switches "
-              f"(subset: {', '.join(SUBSET)})"))
+              f"(subset: {', '.join(SUBSET)})"),
+        summary=speedups,
+        config={"subset": SUBSET, "engine": "rules-custom",
+                "baseline": "tcg"})
     # Packing and elimination each help on their own; combined they beat
     # either alone; inter-TB contributes on top.
     assert speedups["packed only"] > speedups["base"]

@@ -5,7 +5,7 @@ from repro.harness import coordination_claims
 
 def test_coordination_claims(benchmark, save):
     result = benchmark.pedantic(coordination_claims, rounds=1, iterations=1)
-    save("coordination", result.text)
+    save("coordination", result)
     summary = result.summary
     # Coordination sites are a large fraction of all instructions
     # (paper: 48.83%), and the optimizations eliminate most of the

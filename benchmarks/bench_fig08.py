@@ -5,7 +5,7 @@ from repro.harness import PAPER, fig8
 
 def test_fig8(benchmark, save):
     result = benchmark.pedantic(fig8, rounds=1, iterations=1)
-    save("fig08", result.text)
+    save("fig08", result)
     summary = result.summary
     # The packed scheme must be several times cheaper than the parsed
     # one (the paper reports 14 -> 3, a 78% saving).

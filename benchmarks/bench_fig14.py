@@ -5,7 +5,7 @@ from repro.harness import fig14
 
 def test_fig14(benchmark, save):
     result = benchmark.pedantic(fig14, rounds=1, iterations=1)
-    save("fig14", result.text)
+    save("fig14", result)
     summary = result.summary
     # Headline claims: naive rule application is NOT faster than QEMU
     # (the paper measures a 5% slowdown); the fully-optimized system is

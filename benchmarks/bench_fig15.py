@@ -5,7 +5,7 @@ from repro.harness import fig15
 
 def test_fig15(benchmark, save):
     result = benchmark.pedantic(fig15, rounds=1, iterations=1)
-    save("fig15", result.text)
+    save("fig15", result)
     summary = result.summary
     # Rule-based translation produces denser code than the two-step
     # IR pipeline (paper: 17.39 -> 15.40, an 11.44% reduction).

@@ -5,7 +5,7 @@ from repro.harness import fig16
 
 def test_fig16(benchmark, save):
     result = benchmark.pedantic(fig16, rounds=1, iterations=1)
-    save("fig16", result.text)
+    save("fig16", result)
     summary = result.summary
     # Monotone improvement; Base must be at best marginal vs QEMU.
     assert summary["Base"] < 1.05

@@ -5,7 +5,7 @@ from repro.harness import fig17
 
 def test_fig17(benchmark, save):
     result = benchmark.pedantic(fig17, rounds=1, iterations=1)
-    save("fig17", result.text)
+    save("fig17", result)
     summary = result.summary
     # Each optimization strictly reduces coordination traffic
     # (paper: 8.36 -> 1.79 -> 1.33 -> 0.89).

@@ -5,7 +5,7 @@ from repro.harness import fig18
 
 def test_fig18(benchmark, save):
     result = benchmark.pedantic(fig18, rounds=1, iterations=1)
-    save("fig18", result.text)
+    save("fig18", result)
     summary = result.summary
     # Both systems are an order of magnitude slower than native; the
     # rule-based system is consistently closer to native than QEMU

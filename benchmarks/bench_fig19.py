@@ -5,7 +5,7 @@ from repro.harness import fig19
 
 def test_fig19(benchmark, save):
     result = benchmark.pedantic(fig19, rounds=1, iterations=1)
-    save("fig19", result.text)
+    save("fig19", result)
     rows = {row["application"]: row for row in result.rows}
     # Everything speeds up; the I/O- and network-bound applications
     # (fileio, untar, memcached) gain the least, exactly as the paper

@@ -5,7 +5,7 @@ from repro.harness.experiments import footnote3
 
 def test_footnote3(benchmark, save):
     result = benchmark.pedantic(footnote3, rounds=1, iterations=1)
-    save("footnote3", result.text)
+    save("footnote3", result)
     summary = result.summary
     # FP rules avoid both the softfloat helpers and all coordination, so
     # FP workloads speed up far more than integer ones and lift the

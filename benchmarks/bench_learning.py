@@ -25,7 +25,8 @@ def test_learning_pipeline(benchmark, save):
                                    if rule.opcode_class)],
     ]
     save("learning", format_table(["Stage", "Count"], rows,
-                                  title="Rule learning pipeline yield"))
+                                  title="Rule learning pipeline yield"),
+         summary={label: float(count) for label, count in rows})
     assert result.verified >= 0.9 * result.candidates
     assert len(result.rules) < result.verified  # parameterization compresses
 
@@ -60,7 +61,9 @@ def test_learned_rulebook_dynamic_coverage(benchmark, save):
     save("learned_coverage", format_table(
         ["Workload", "Dynamic coverage"],
         [[name, f"{100 * value:.1f}%"] for name, value in coverage.items()],
-        title="Learned-rulebook dynamic instruction coverage"))
+        title="Learned-rulebook dynamic instruction coverage"),
+        summary=coverage,
+        config={"engine": "rules-full", "rulebook": "learned"})
     # The learned rules must cover the bulk of user-level execution even
     # though the corpus is small (the paper's framework reaches higher
     # coverage with a much larger training set).

@@ -5,7 +5,7 @@ from repro.harness import PAPER, table1
 
 def test_table1(benchmark, save):
     result = benchmark.pedantic(table1, rounds=1, iterations=1)
-    save("table1", result.text)
+    save("table1", result)
     summary = result.summary
     rows = {row["benchmark"]: row for row in result.rows}
 

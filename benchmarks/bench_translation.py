@@ -59,7 +59,7 @@ def test_rule_translation_speed(benchmark, block_machine):
 
 
 @pytest.mark.parametrize("engine", ["interp", "tcg", "rules-full"])
-def test_emulation_wall_clock(benchmark, engine):
+def test_emulation_wall_clock(benchmark, save, engine):
     workload = SPEC_WORKLOADS["sjeng"]  # the smallest SPEC analog
 
     def run():
@@ -69,3 +69,10 @@ def test_emulation_wall_clock(benchmark, engine):
 
     machine = benchmark.pedantic(run, rounds=1, iterations=1)
     assert machine.exit_code == 0
+    stats = machine.stats()
+    save(f"emulation_{engine.replace('-', '_')}",
+         f"emulation wall-clock smoke: {workload.name} on {engine}",
+         summary={"guest_icount": stats["engine.guest_icount"],
+                  "host_cost": stats["engine.host_cost"],
+                  "io_cost": stats["io.cost"]},
+         config={"workload": workload.name, "engine": engine})

@@ -2,10 +2,13 @@
 
 All figure benchmarks share one process-wide sweep cache
 (:mod:`repro.harness.runner`), so the full suite runs each
-(workload, engine) pair exactly once.  Every rendered table is also
-written to ``benchmarks/results/<name>.txt`` for EXPERIMENTS.md.
+(workload, engine) pair exactly once.  Every rendered table is written
+to ``benchmarks/results/<name>.txt`` for EXPERIMENTS.md, and a
+machine-readable companion ``benchmarks/results/<name>.json`` carries
+the metric rows, summary scalars and configuration of the run.
 """
 
+import json
 import pathlib
 
 import pytest
@@ -13,9 +16,32 @@ import pytest
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
-def save_result(name: str, text: str) -> None:
+def save_result(name, result, summary=None, config=None) -> None:
+    """Persist one benchmark result.
+
+    *result* is either a rendered table string or an
+    :class:`repro.harness.ExperimentResult` (duck-typed: anything with
+    ``.text`` / ``.rows`` / ``.summary``).  The text goes to
+    ``<name>.txt``; a JSON document with the metrics goes to
+    ``<name>.json``.  Extra *summary* scalars and the benchmark
+    *config* are merged into the JSON.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
+    if hasattr(result, "text"):
+        text = result.text
+        payload = {"name": name, "rows": list(result.rows),
+                   "summary": dict(result.summary)}
+    else:
+        text = result
+        payload = {"name": name, "rows": [], "summary": {}}
+    if summary:
+        payload["summary"].update(summary)
+    if config is not None:
+        payload["config"] = config
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    with open(RESULTS_DIR / f"{name}.json", "w") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True, default=str)
+        handle.write("\n")
     print("\n" + text)
 
 

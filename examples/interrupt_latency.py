@@ -40,9 +40,9 @@ def run(engine, factory=None):
     return {
         "ticks": machine.uart.text.strip(),
         "delivered": machine.irq_delivered,
-        "parses": int(stats.get("flag_parses", 0)),
-        "sync_ops": int(stats.get("sync_ops_dyn", 0)),
-        "checks": int(stats.get("interrupt_checks_dyn", 0)),
+        "parses": int(stats.get("engine.flag_parses", 0)),
+        "sync_ops": int(stats.get("engine.sync_ops_dyn", 0)),
+        "checks": int(stats.get("engine.interrupt_checks_dyn", 0)),
     }
 
 

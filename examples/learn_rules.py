@@ -40,7 +40,7 @@ def main():
     workload = SPEC_WORKLOADS["mcf"]
     machine = make_machine(workload, "tcg")
     machine.run(workload.max_insns)
-    qemu_cost = machine.stats()["host_cost"]
+    qemu_cost = machine.stats()["engine.host_cost"]
 
     factory = make_rule_engine(OptLevel.FULL, rulebook=result.rulebook)
     from repro.miniqemu.machine import Machine
@@ -67,7 +67,7 @@ def main():
           f"{100 * covered / (covered + uncovered):.1f}% "
           f"({uncovered} uncovered instructions fell back to QEMU)")
     print(f"speedup over QEMU with learned rules only: "
-          f"{qemu_cost / stats['host_cost']:.2f}x")
+          f"{qemu_cost / stats['engine.host_cost']:.2f}x")
 
 
 if __name__ == "__main__":

@@ -54,8 +54,8 @@ def run(engine: str, factory=None) -> dict:
         "output": machine.uart.text,
         "exit": exit_code,
         "guest_insns": machine.guest_icount,
-        "host_cost": stats["host_cost"],
-        "per_guest": stats["host_cost"] / machine.guest_icount,
+        "host_cost": stats["engine.host_cost"],
+        "per_guest": stats["engine.host_cost"] / machine.guest_icount,
     }
 
 

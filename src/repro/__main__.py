@@ -16,10 +16,17 @@ Commands:
 - ``faultsmoke [--seeds N]`` — the robustness smoke matrix: run a
   seeded fault-injection scenario grid and check every run still
   produces the correct guest output and exit code.
+- ``profile WORKLOAD [--engine E] [--top N]`` — run with tracing and
+  profiling enabled, print the hot-TB table and the coordination-cost
+  breakdown, and export profile + Chrome trace JSON under
+  ``benchmarks/results/``.
+- ``validate-trace FILE.json`` — check an exported trace against the
+  Chrome trace-event schema (exit 1 on problems).
 
 ``run`` and ``exec`` accept ``--inject SPEC`` to enable deterministic
 fault injection, e.g. ``--inject seed=7,mem=0.01,rule-corrupt=SUB``
-(see ``repro.robustness.faultinject``).
+(see ``repro.robustness.faultinject``), and ``--trace PATH`` to record
+a Chrome trace of the run.
 """
 
 from __future__ import annotations
@@ -54,28 +61,33 @@ def _print_run(result) -> None:
 
 def _print_robustness(stats) -> None:
     """Degradation-ladder report (quarantines, fallback tiers, faults)."""
-    quarantined = stats.get("quarantined_rules", 0)
+    quarantined = stats.get("robust.quarantined_rules", 0)
     fallback = sum(count for key, count in stats.items()
-                   if key.startswith("tier_") and key.endswith("_tbs")
-                   and key != "tier_rules_tbs")
-    injected = {key[4:]: int(count) for key, count in stats.items()
-                if key.startswith("inj_")}
+                   if key.startswith("robust.tier_") and
+                   key.endswith("_tbs") and key != "robust.tier_rules_tbs")
+    injected = {key[len("robust.inj_"):]: int(count)
+                for key, count in stats.items()
+                if key.startswith("robust.inj_")}
     if not (quarantined or fallback or injected or
-            stats.get("recovered_faults") or stats.get("watchdog_trips")):
+            stats.get("robust.recovered_faults") or
+            stats.get("robust.watchdog_trips")):
         return
     print(f"quarantined rules  : {quarantined:.0f}")
-    tiers = {key[5:-4]: int(count) for key, count in stats.items()
-             if key.startswith("tier_") and key.endswith("_tbs")}
+    tiers = {key[len("robust.tier_"):-4]: int(count)
+             for key, count in stats.items()
+             if key.startswith("robust.tier_") and key.endswith("_tbs")}
     print("fallback tiers     : " +
           " ".join(f"{tier}={count}" for tier, count in tiers.items()))
-    print(f"faults recovered   : {stats.get('recovered_faults', 0):.0f}"
-          f" (transient {stats.get('transient_faults', 0):.0f})")
+    print(f"faults recovered   : "
+          f"{stats.get('robust.recovered_faults', 0):.0f}"
+          f" (transient {stats.get('robust.transient_faults', 0):.0f})")
     if injected:
         print("injected           : " +
               " ".join(f"{site}={count}"
                        for site, count in sorted(injected.items())))
-    if stats.get("watchdog_trips"):
-        print(f"watchdog trips     : {stats['watchdog_trips']:.0f}")
+    if stats.get("robust.watchdog_trips"):
+        print(f"watchdog trips     : "
+              f"{stats['robust.watchdog_trips']:.0f}")
 
 
 def cmd_run(args) -> int:
@@ -99,12 +111,22 @@ def cmd_exec(args) -> int:
 def _run_and_print(workload, args) -> int:
     from .common.errors import ReproError
 
+    tracer = None
+    if getattr(args, "trace", None):
+        from .observability import Tracer
+        tracer = Tracer()
     try:
-        result = run_workload(workload, args.engine, inject=args.inject)
+        result = run_workload(workload, args.engine, inject=args.inject,
+                              tracer=tracer)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
     _print_run(result)
+    if tracer is not None:
+        from .observability import write_chrome_trace
+        path = write_chrome_trace(args.trace, tracer.events())
+        print(f"trace written to {path} ({tracer.emitted} events, "
+              f"{tracer.dropped} dropped)")
     return 0
 
 
@@ -143,15 +165,15 @@ def cmd_faultsmoke(args) -> int:
                     continue
                 stats = result.stats
                 injected = sum(int(count) for key, count in stats.items()
-                               if key.startswith("inj_"))
+                               if key.startswith("robust.inj_"))
                 fallback = sum(
                     int(count) for key, count in stats.items()
-                    if key.startswith("tier_") and key.endswith("_tbs")
-                    and key != "tier_rules_tbs")
+                    if key.startswith("robust.tier_") and
+                    key.endswith("_tbs") and key != "robust.tier_rules_tbs")
                 rows.append([
                     name, seed, workload_name, "ok", injected,
-                    f"{stats.get('quarantined_rules', 0):.0f}",
-                    f"{stats.get('recovered_faults', 0):.0f}",
+                    f"{stats.get('robust.quarantined_rules', 0):.0f}",
+                    f"{stats.get('robust.recovered_faults', 0):.0f}",
                     f"fallback_tbs={fallback}",
                 ])
     print(format_table(
@@ -162,6 +184,73 @@ def cmd_faultsmoke(args) -> int:
         print(f"{failures} scenario(s) FAILED", file=sys.stderr)
         return 1
     print(f"all {len(rows)} scenarios passed")
+    return 0
+
+
+#: Default export directory for ``repro profile`` artifacts.
+RESULTS_DIR = "benchmarks/results"
+
+
+def cmd_profile(args) -> int:
+    import os
+
+    from .common.errors import ReproError
+    from .observability import (Profiler, Tracer, build_profile,
+                                render_profile, write_chrome_trace,
+                                write_profile_json)
+    from .harness import make_machine
+
+    workload = ALL_WORKLOADS.get(args.workload)
+    if workload is None:
+        print(f"unknown workload {args.workload!r} "
+              f"(try: python -m repro list)", file=sys.stderr)
+        return 2
+    tracer = Tracer()
+    profiler = Profiler()
+    machine = make_machine(workload, args.engine, inject=args.inject,
+                           tracer=tracer, profiler=profiler)
+    try:
+        machine.run(workload.max_insns)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    profile = build_profile(machine, workload=args.workload,
+                            engine=args.engine)
+    print(render_profile(profile, top=args.top))
+
+    slug = f"{args.workload}_{args.engine}".replace("-", "_")
+    profile_path = args.json or os.path.join(
+        RESULTS_DIR, f"profile_{slug}.json")
+    trace_path = args.trace or os.path.join(
+        RESULTS_DIR, f"trace_{slug}.json")
+    write_profile_json(profile_path, profile)
+    write_chrome_trace(trace_path, tracer.events())
+    print(f"\nprofile written to {profile_path}")
+    print(f"trace written to {trace_path} ({tracer.emitted} events, "
+          f"{tracer.dropped} dropped) — load it in Perfetto or "
+          f"chrome://tracing")
+    return 0
+
+
+def cmd_validate_trace(args) -> int:
+    import json
+
+    from .observability import validate_chrome_trace
+
+    with open(args.file) as handle:
+        try:
+            obj = json.load(handle)
+        except json.JSONDecodeError as error:
+            print(f"{args.file}: not valid JSON: {error}",
+                  file=sys.stderr)
+            return 1
+    problems = validate_chrome_trace(obj)
+    if problems:
+        for problem in problems:
+            print(f"{args.file}: {problem}", file=sys.stderr)
+        return 1
+    count = len(obj["traceEvents"])
+    print(f"{args.file}: valid Chrome trace ({count} events)")
     return 0
 
 
@@ -235,6 +324,8 @@ def main(argv=None) -> int:
     run_parser.add_argument("--inject", metavar="SPEC", default=None,
                             help="fault-injection spec, e.g. "
                                  "seed=7,mem=0.01,rule-corrupt=SUB")
+    run_parser.add_argument("--trace", metavar="PATH", default=None,
+                            help="write a Chrome trace JSON of the run")
 
     exec_parser = sub.add_parser("exec", help="run a guest assembly file")
     exec_parser.add_argument("file")
@@ -242,6 +333,27 @@ def main(argv=None) -> int:
                              choices=ENGINE_SPECS)
     exec_parser.add_argument("--inject", metavar="SPEC", default=None,
                              help="fault-injection spec")
+    exec_parser.add_argument("--trace", metavar="PATH", default=None,
+                             help="write a Chrome trace JSON of the run")
+
+    profile_parser = sub.add_parser(
+        "profile", help="profile a workload (hot TBs + cost breakdown)")
+    profile_parser.add_argument("workload")
+    profile_parser.add_argument("--engine", default="rules-full",
+                                choices=ENGINE_SPECS)
+    profile_parser.add_argument("--top", type=int, default=20,
+                                help="rows in the hot-TB table")
+    profile_parser.add_argument("--inject", metavar="SPEC", default=None,
+                                help="fault-injection spec")
+    profile_parser.add_argument("--json", metavar="PATH", default=None,
+                                help="profile JSON output path")
+    profile_parser.add_argument("--trace", metavar="PATH", default=None,
+                                help="Chrome trace JSON output path")
+
+    validate_parser = sub.add_parser(
+        "validate-trace",
+        help="validate a Chrome trace JSON export")
+    validate_parser.add_argument("file")
 
     smoke_parser = sub.add_parser(
         "faultsmoke", help="run the fault-injection smoke matrix")
@@ -263,7 +375,9 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     handlers = {"list": cmd_list, "run": cmd_run, "exec": cmd_exec,
                 "compare": cmd_compare, "bench": cmd_bench,
-                "learn": cmd_learn, "faultsmoke": cmd_faultsmoke}
+                "learn": cmd_learn, "faultsmoke": cmd_faultsmoke,
+                "profile": cmd_profile,
+                "validate-trace": cmd_validate_trace}
     return handlers[args.command](args)
 
 

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 
 @dataclass
@@ -12,7 +12,9 @@ class DiagContext:
 
     Built by :meth:`repro.miniqemu.machine.Machine.diag_context` at raise
     time; every field is optional so partially-initialized machines can
-    still attach what they know.
+    still attach what they know.  When tracing is enabled, ``trace``
+    carries the last few probe events (the flight recorder) so
+    robustness failures ship with the execution history that led there.
     """
 
     guest_pc: Optional[int] = None
@@ -20,6 +22,7 @@ class DiagContext:
     icount: Optional[int] = None
     engine: Optional[str] = None
     extra: Dict[str, object] = field(default_factory=dict)
+    trace: Tuple = ()
 
     def __str__(self) -> str:
         parts = []
@@ -32,6 +35,9 @@ class DiagContext:
         if self.engine is not None:
             parts.append(f"engine={self.engine}")
         parts.extend(f"{key}={value}" for key, value in self.extra.items())
+        if self.trace:
+            parts.append(f"trace[{len(self.trace)}]="
+                         + "; ".join(str(event) for event in self.trace))
         return " ".join(parts)
 
 

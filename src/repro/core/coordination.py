@@ -34,6 +34,7 @@ from ..host.builder import CodeBuilder
 from ..host.isa import EAX, EDX, ENV_REG, Imm, Mem, Reg, X86Cond
 from ..miniqemu.env import (ENV_CF, ENV_NF, ENV_PACKED_FLAGS,
                             ENV_PACKED_VALID, ENV_VF, ENV_ZF)
+from ..observability.trace import NULL_TRACER
 from .condmap import CarryKind
 
 SYNC_TAG = "sync"
@@ -53,16 +54,19 @@ class SyncStats:
     restore_insns: int = 0
     reg_flush_insns: int = 0
     inter_tb_elisions: int = 0
+    #: Saves skipped by the consecutive-site elimination (Sec III-C-2).
+    elided_saves: int = 0
 
 
 class FlagsState:
     """Where the live guest CCR is, during emission of one TB."""
 
     def __init__(self, builder: CodeBuilder, stats: SyncStats,
-                 packed: bool):
+                 packed: bool, tracer=NULL_TRACER):
         self.builder = builder
         self.stats = stats
         self.packed = packed
+        self.tracer = tracer
         # At TB entry QEMU's env holds the authoritative flags.  Which
         # representation is current depends on the mode: packed-sync
         # predecessors publish the packed word, Base predecessors (and
@@ -146,7 +150,13 @@ class FlagsState:
                     builder.movi(_env(ENV_PACKED_VALID), 0)
                     self.packed_ok = False
         self.stats.saves += 1
-        self.stats.save_insns += len(builder.insns) - before
+        emitted = len(builder.insns) - before
+        self.stats.save_insns += emitted
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "sync.save",
+                mode="packed" if self.packed and not parsed else "parsed",
+                insns=emitted)
 
     def ensure_parsed(self) -> None:
         """Make the per-bit fields current (before inline QEMU code)."""
@@ -182,8 +192,9 @@ class FlagsState:
         """Sync-restore: reload the guest CCR from env into EFLAGS."""
         builder = self.builder
         before = len(builder.insns)
+        packed_reload = self.packed and self.packed_ok
         with builder.tagged(SYNC_TAG):
-            if self.packed and self.packed_ok:
+            if packed_reload:
                 builder.push(_env(ENV_PACKED_FLAGS))
                 builder.popfd()
             else:
@@ -193,7 +204,13 @@ class FlagsState:
         self.in_eflags = True
         self.kind = CarryKind.DIRECT
         self.stats.restores += 1
-        self.stats.restore_insns += len(builder.insns) - before
+        emitted = len(builder.insns) - before
+        self.stats.restore_insns += emitted
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "sync.restore",
+                mode="packed" if packed_reload else "parsed",
+                insns=emitted)
 
     def _emit_parsed_restore(self) -> None:
         """Rebuild an EFLAGS word from the four per-bit env fields."""

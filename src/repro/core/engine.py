@@ -96,7 +96,8 @@ class RuleEngine(DbtEngineBase):
         translator = RuleTranslator(
             mmu_idx, self.config, rulebook=self.rulebook,
             successor_live_in=self.successor_live_in,
-            tcg_fallback=self.tcg_fallback)
+            tcg_fallback=self.tcg_fallback,
+            tracer=self.machine.tracer)
         return translator.translate(pc, insns)
 
     # ------------------------------------------------------------------
@@ -107,15 +108,19 @@ class RuleEngine(DbtEngineBase):
         base = super().stats()
         sync_ops = 0
         sync_insns = 0
+        sync_elisions = 0
         for tb in self.cache.all_tbs():
             meta = tb.meta
             weight = tb.exec_count
             sync_ops += weight * (meta.get("sync_saves", 0) +
                                   meta.get("sync_restores", 0))
             sync_insns += weight * meta.get("sync_insns", 0)
+            sync_elisions += weight * (meta.get("sync_elisions", 0) +
+                                       meta.get("inter_tb_elisions", 0))
         base.update({
             "sync_ops_dyn": float(sync_ops),
             "sync_insns_weighted": float(sync_insns),
+            "sync_elisions_dyn": float(sync_elisions),
             "flag_parses": float(self.machine.runtime.flag_parse_count),
             "opt_level": float(self.level),
         })

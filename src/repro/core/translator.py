@@ -72,12 +72,15 @@ class RuleTranslator:
 
     def __init__(self, mmu_idx: int, config: OptConfig, rulebook=None,
                  successor_live_in: Optional[Callable[[int], int]] = None,
-                 tcg_fallback: Optional[Callable] = None):
+                 tcg_fallback: Optional[Callable] = None,
+                 tracer=None):
+        from ..observability.trace import NULL_TRACER
         self.mmu_idx = mmu_idx
         self.config = config
         self.rulebook = rulebook
         self.successor_live_in = successor_live_in or (lambda pc: F_ALL)
         self.tcg_fallback = tcg_fallback
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         # Per-TB state, reset in translate().
         self.builder: Optional[CodeBuilder] = None
         self.cache: Optional[RegCache] = None
@@ -98,7 +101,8 @@ class RuleTranslator:
         self.builder = builder = CodeBuilder(default_tag=RULE_TAG)
         self.stats = SyncStats()
         self.flags = FlagsState(builder, self.stats,
-                                packed=config.packed_sync)
+                                packed=config.packed_sync,
+                                tracer=self.tracer)
         self.cache = RegCache(builder)
         self.alu = AluEmitter(builder, self.cache)
         self._cold_stubs: List[_ColdStub] = []
@@ -134,6 +138,8 @@ class RuleTranslator:
             "sync_saves": self.stats.saves,
             "sync_restores": self.stats.restores,
             "sync_insns": self.stats.save_insns + self.stats.restore_insns,
+            "sync_elisions": self.stats.elided_saves,
+            "inter_tb_elisions": self.stats.inter_tb_elisions,
             "n_memory": info.n_memory,
             "n_system": info.n_system,
             "n_uncovered": info.n_uncovered,
@@ -209,6 +215,12 @@ class RuleTranslator:
             if self.flags.need_save():
                 self.flags.emit_save()
                 return True
+            if self.flags.in_eflags:
+                # env is already current: the naive policy would have
+                # saved here — a consecutive-site elision (Sec III-C-2).
+                self.stats.elided_saves += 1
+                if self.tracer.enabled:
+                    self.tracer.emit("sync.elide", kind="consecutive")
             return False
         if self.flags.in_eflags:
             self.flags.emit_save()
@@ -755,6 +767,9 @@ class RuleTranslator:
                          self.successor_live_in(target_pc) == 0)
             if skip_save:
                 self.stats.inter_tb_elisions += 1
+                if self.tracer.enabled:
+                    self.tracer.emit("sync.elide", kind="inter-tb",
+                                     target_pc=target_pc)
             else:
                 flags.emit_save()
         builder.goto_tb(slot, tag="chain")

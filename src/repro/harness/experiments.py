@@ -79,9 +79,9 @@ def table1() -> ExperimentResult:
         guest = max(run.guest_icount, 1)
         row = {
             "benchmark": name,
-            "system_pct": percent(stats["system_insns_dyn"], guest),
-            "memory_pct": percent(stats["memory_insns_dyn"], guest),
-            "check_pct": percent(stats["interrupt_checks_dyn"], guest),
+            "system_pct": percent(stats["engine.system_insns_dyn"], guest),
+            "memory_pct": percent(stats["engine.memory_insns_dyn"], guest),
+            "check_pct": percent(stats["engine.interrupt_checks_dyn"], guest),
         }
         rows.append(row)
     result.rows = rows
@@ -113,8 +113,8 @@ def fig8() -> ExperimentResult:
     per_level = {}
     for engine in ("rules-base", "rules-reduction"):
         runs = _spec_results(engine)
-        ops = sum(r.stats["sync_ops_dyn"] for r in runs.values())
-        insns = sum(r.stats["sync_insns_weighted"] for r in runs.values())
+        ops = sum(r.stats["engine.sync_ops_dyn"] for r in runs.values())
+        insns = sum(r.stats["engine.sync_insns_weighted"] for r in runs.values())
         per_level[engine] = insns / max(ops, 1)
     result.summary = {
         "parsed_insns_per_sync": per_level["rules-base"],
@@ -195,9 +195,9 @@ def fig15() -> ExperimentResult:
     per_engine = {}
     for engine in ("tcg", "rules-full"):
         runs = _spec_results(engine)
-        static_host = sum(r.stats["static_host_insns"]
+        static_host = sum(r.stats["engine.static_host_insns"]
                           for r in runs.values())
-        static_guest = sum(r.stats["static_guest_insns"]
+        static_guest = sum(r.stats["engine.static_guest_insns"]
                            for r in runs.values())
         per_engine[engine] = static_host / max(static_guest, 1)
     result.summary = {
@@ -226,7 +226,7 @@ def fig17() -> ExperimentResult:
     result = ExperimentResult("fig17")
     for engine in RULE_LEVELS:
         runs = _spec_results(engine)
-        sync = sum(r.stats.get("tag_sync", 0.0) for r in runs.values())
+        sync = sum(r.stats.get("engine.tag_sync", 0.0) for r in runs.values())
         guest = sum(r.guest_icount for r in runs.values())
         result.summary[LEVEL_LABELS[engine]] = sync / max(guest, 1)
     rows = [[label, value, PAPER["fig17"][label]]
@@ -314,12 +314,12 @@ def coordination_claims() -> ExperimentResult:
     result = ExperimentResult("coordination")
     qemu = _spec_results("tcg")
     guest = sum(r.guest_icount for r in qemu.values())
-    sites = sum(r.stats["memory_insns_dyn"] + r.stats["system_insns_dyn"] +
-                r.stats["interrupt_checks_dyn"] for r in qemu.values())
+    sites = sum(r.stats["engine.memory_insns_dyn"] + r.stats["engine.system_insns_dyn"] +
+                r.stats["engine.interrupt_checks_dyn"] for r in qemu.values())
     base = _spec_results("rules-base")
     full = _spec_results("rules-full")
-    base_ops = sum(r.stats["sync_ops_dyn"] for r in base.values())
-    full_ops = sum(r.stats["sync_ops_dyn"] for r in full.values())
+    base_ops = sum(r.stats["engine.sync_ops_dyn"] for r in base.values())
+    full_ops = sum(r.stats["engine.sync_ops_dyn"] for r in full.values())
     result.summary = {
         "sites_pct": percent(sites, guest),
         "base_coordination_pct": percent(base_ops / 2, guest),

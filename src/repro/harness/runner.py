@@ -72,9 +72,13 @@ def _robustness_kwargs(inject) -> Dict:
 
 def make_machine(workload: Workload, engine: str,
                  config: Optional[OptConfig] = None,
-                 inject=None) -> Machine:
+                 inject=None, tracer=None, profiler=None) -> Machine:
     """Build a machine with the kernel + workload loaded and devices set up."""
     kwargs = _robustness_kwargs(inject)
+    if tracer is not None:
+        kwargs["tracer"] = tracer
+    if profiler is not None:
+        kwargs["profiler"] = profiler
     if engine in _LEVEL_BY_SPEC:
         factory = make_rule_engine(_LEVEL_BY_SPEC[engine], config=config)
         machine = Machine(engine="rules", rule_engine_factory=factory,
@@ -106,8 +110,9 @@ def make_machine(workload: Workload, engine: str,
 
 def run_workload(workload: Workload, engine: str,
                  config: Optional[OptConfig] = None,
-                 inject=None) -> RunResult:
-    machine = make_machine(workload, engine, config, inject=inject)
+                 inject=None, tracer=None, profiler=None) -> RunResult:
+    machine = make_machine(workload, engine, config, inject=inject,
+                           tracer=tracer, profiler=profiler)
     exit_code = machine.run(workload.max_insns)
     output = machine.uart.text
     if workload.expected_output is not None and \
@@ -118,14 +123,14 @@ def run_workload(workload: Workload, engine: str,
     if exit_code != 0:
         raise ReproError(f"{workload.name} on {engine}: exit {exit_code}")
     stats = machine.stats()
-    host_cost = stats.get("host_cost", 0.0)
+    host_cost = stats.get("engine.host_cost", 0.0)
     return RunResult(
         workload=workload.name,
         engine=engine,
         exit_code=exit_code,
         output=output,
         guest_icount=machine.guest_icount,
-        host_instructions=stats.get("host_instructions", 0.0),
+        host_instructions=stats.get("engine.host_instructions", 0.0),
         host_cost=host_cost,
         io_cost=float(machine.io_cost),
         runtime=host_cost + machine.io_cost,

@@ -19,6 +19,7 @@ from typing import Optional
 
 from ..common.bitops import s32, u32
 from ..common.errors import HostExecutionError, WatchdogTimeout
+from ..observability.trace import NULL_TRACER
 from .cpu import HostCpu
 from .isa import (ECX, ESP, Imm, Mem, Reg, X86Insn, X86Op, Xmm)
 from ..common.f32 import f32_add, f32_mul, f32_sub
@@ -58,6 +59,13 @@ class HostInterpreter:
         #: work (MMIO, exception delivery) — rollback+replay is then
         #: unsafe; the runtime sets this via note_side_effect().
         self.tb_side_effects = False
+        #: Observability (repro.observability): the disabled defaults
+        #: keep the hot loop's only overhead a None/False check.
+        self.tracer = NULL_TRACER
+        self.profiler = None
+        #: (pc, mmu_idx) of the TB charges are attributed to, or None
+        #: when cost is being charged outside any block.
+        self._profile_key = None
 
     def note_side_effect(self, kind: str = "") -> None:
         """Mark the current execute() call as non-replayable."""
@@ -69,6 +77,8 @@ class HostInterpreter:
         """Charge modelled host instructions for non-generated work."""
         self.charged += amount
         self.by_tag[tag] += amount
+        if self.profiler is not None:
+            self.profiler.on_charge(self._profile_key, tag, amount)
 
     @property
     def cost(self) -> int:
@@ -113,6 +123,12 @@ class HostInterpreter:
         self.tb_side_effects = False
         limit = self.watchdog.max_host_insns if self.watchdog is not None \
             else _RUNAWAY_LIMIT
+        profiler = self.profiler
+        if profiler is not None:
+            self._profile_key = (tb.pc, tb.mmu_idx)
+            prof_tags = profiler.tags_for(self._profile_key)
+        else:
+            prof_tags = None
         while True:
             if index >= len(insns):
                 raise HostExecutionError(
@@ -122,6 +138,8 @@ class HostInterpreter:
             executed += 1
             self.total += 1
             self.by_tag[insn.tag] += 1
+            if prof_tags is not None:
+                prof_tags[insn.tag] += 1
             if executed > limit:
                 if self.watchdog is not None:
                     self.watchdog.trips += 1
@@ -243,6 +261,9 @@ class HostInterpreter:
                 if cpu.test(insn.cond):
                     index = insn.target_index
             elif op is X86Op.CALL_HELPER:
+                if self.tracer.enabled:
+                    self.tracer.emit("helper.call", tb_pc=tb.pc,
+                                     helper=insn.helper.__name__)
                 args = [self._read(arg) for arg in insn.helper_args]
                 result = insn.helper(self.runtime, *args)
                 if result is not None:
@@ -260,6 +281,9 @@ class HostInterpreter:
                     tb = target
                     insns = tb.code
                     index = 0
+                    if prof_tags is not None:
+                        self._profile_key = (tb.pc, tb.mmu_idx)
+                        prof_tags = profiler.tags_for(self._profile_key)
                     if self.on_tb_enter is not None:
                         self.on_tb_enter(tb)
             elif op is X86Op.NOPSLOT:

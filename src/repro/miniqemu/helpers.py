@@ -75,6 +75,8 @@ class QemuRuntime:
         env.write(ENV_VF, (packed >> FLAG_OF) & 1)
         env.write(ENV_PACKED_VALID, 0)
         self.flag_parse_count += 1
+        if self.machine.tracer.enabled:
+            self.machine.tracer.emit("sync.lazy_parse")
         self.charge(COST_LAZY_FLAGS_PARSE, "sync")
 
     def repack_flags(self) -> None:
@@ -110,6 +112,9 @@ class QemuRuntime:
             # Mode/banked-register switches are not replayable by the
             # fault-recovery rollback: mark the execute() call dirty.
             self.host.note_side_effect("exception")
+        if self.machine.tracer.enabled:
+            self.machine.tracer.emit("exception.enter", mode=mode,
+                                     vector=vector)
         self.env_to_cpu()  # reads CPSR (incl. NZCV) into SPSR: needs flags
         self.cpu.take_exception(mode, vector, return_address)
         self.cpu_to_env()
@@ -127,6 +132,9 @@ class QemuRuntime:
                        insn_pc: int) -> int:
         """Page-walk translation with TLB refill (the TLB-miss path)."""
         self.slow_path_count += 1
+        if self.machine.tracer.enabled:
+            self.machine.tracer.emit("mmu.slowpath", vaddr=vaddr,
+                                     access=access, pc=insn_pc)
         if not self.cpu.cp15.mmu_enabled:
             # MMU off: identity mapping; cache it like QEMU does so that
             # subsequent accesses hit the inline fast path.

@@ -42,6 +42,8 @@ from ..guest.decoder import decode
 from ..guest.interp import Interpreter
 from ..guest.isa import PC
 from ..host.cpu import HostCpu
+from ..observability.stats import merge_stats
+from ..observability.trace import FLIGHT_RECORDER_EVENTS, NULL_TRACER
 from ..host.interp import HostInterpreter
 from ..host.isa import ENV_REG
 from ..host.memory import HostMemory
@@ -77,7 +79,14 @@ class Machine:
     def __init__(self, ram_size: int = DEFAULT_RAM_SIZE,
                  engine: str = "tcg", rule_engine_factory=None,
                  fault_injector=None, watchdog=None,
-                 selfcheck_interval: int = 0):
+                 selfcheck_interval: int = 0,
+                 tracer=None, profiler=None):
+        # Observability (defaults are the zero-cost disabled paths; see
+        # repro.observability).  Set first so every subsystem built
+        # below can capture the tracer.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.profiler = profiler
+
         # Guest side.
         self.cpu = GuestCpu()
         self.memory = PhysicalMemoryMap()
@@ -114,6 +123,12 @@ class Machine:
                                    PageWalker(self.memory), self)
         self.runtime.host = self.host
         self.host.runtime = self.runtime
+        self.host.tracer = self.tracer
+        self.host.profiler = self.profiler
+        if self.tracer.enabled:
+            # The trace time axis: (modelled host cost, guest icount).
+            self.tracer.set_clock(
+                lambda: (float(self.host.cost), self.guest_icount))
 
         # Robustness: fault injection, watchdog, self-check sampling.
         # Set before the engine is built — engines read these to size
@@ -191,23 +206,34 @@ class Machine:
         pc = self.cpu.regs[PC] if name == "interp" else self.env.pc
         return DiagContext(guest_pc=pc, mode=self.cpu.mode,
                            icount=self.guest_icount, engine=name,
-                           extra=extra)
+                           extra=extra,
+                           trace=self.tracer.tail(FLIGHT_RECORDER_EVENTS))
 
     # -- metrics ----------------------------------------------------------------------
 
     def stats(self) -> Dict[str, float]:
-        base = {
-            "guest_icount": self.guest_icount,
-            "io_cost": self.io_cost,
-            "irq_delivered": self.irq_delivered,
-            "tlb_fills": self.tlb.fill_count,
+        """All counters, namespaced ``engine.`` / ``robust.`` / ``io.`` /
+        ``trace.`` (collisions raise; see repro.observability.stats)."""
+        engine_group = {
+            "guest_icount": float(self.guest_icount),
+            "irq_delivered": float(self.irq_delivered),
+            "tlb_fills": float(self.tlb.fill_count),
         }
+        engine_group.update(self.engine.stats())
+        robust_group = {}
         for site, count in self.injector.counts_by_site().items():
-            base[f"inj_{site.replace('-', '_')}"] = float(count)
+            robust_group[f"inj_{site.replace('-', '_')}"] = float(count)
         if self.watchdog is not None:
-            base["watchdog_trips"] = float(self.watchdog.trips)
-        base.update(self.engine.stats())
-        return base
+            robust_group["watchdog_trips"] = float(self.watchdog.trips)
+        robust_group.update(self.engine.robustness_stats())
+        groups = {
+            "engine": engine_group,
+            "robust": robust_group,
+            "io": {"cost": float(self.io_cost)},
+        }
+        if self.tracer.enabled:
+            groups["trace"] = self.tracer.stats()
+        return merge_stats(groups)
 
 
 class InterpEngine:
@@ -233,8 +259,11 @@ class InterpEngine:
                     machine, lambda: not (cpu.halted and not cpu.irq_line))
 
     def stats(self) -> Dict[str, float]:
-        return {"engine": 0.0, "host_cost": float(self.interp.icount),
+        return {"host_cost": float(self.interp.icount),
                 "host_instructions": float(self.interp.icount)}
+
+    def robustness_stats(self) -> Dict[str, float]:
+        return {}
 
 
 class DbtEngineBase:
@@ -295,6 +324,10 @@ class DbtEngineBase:
                     # Newly quarantined: the same tier now routes the
                     # rule's instructions through the fallback, so retry
                     # it before degrading the whole block.
+                    if self.machine.tracer.enabled:
+                        self.machine.tracer.emit(
+                            "ladder.quarantine", rule=error.rule,
+                            phase="translate", pc=pc)
                     self.cache.invalidate_rules([error.rule])
                     continue
                 tier_index += 1
@@ -303,6 +336,10 @@ class DbtEngineBase:
                 last_error = error      # to absorb arbitrary codegen bugs
                 if ladder.start_tier(pc, mmu_idx) == tier_index:
                     ladder.demote(pc, mmu_idx)
+                    if self.machine.tracer.enabled:
+                        self.machine.tracer.emit(
+                            "ladder.demote", pc=pc, from_tier=tier,
+                            reason=type(error).__name__)
                 tier_index += 1
                 continue
             tb.meta["tier"] = tier
@@ -391,6 +428,8 @@ class DbtEngineBase:
                     insn.op.name in ("SVC", "WFI"):
                 break
             addr += 4
+        if machine.tracer.enabled:
+            machine.tracer.emit("decode.block", pc=pc, n_insns=len(insns))
         return insns
 
     def get_tb(self, pc: int, mmu_idx: int) -> TranslationBlock:
@@ -399,9 +438,20 @@ class DbtEngineBase:
             tb = self.translate(pc, mmu_idx)
             self.machine.injector.instrument_tb(tb)
             self.cache.insert(tb)
+            host = self.machine.host
             cost = COST_TRANSLATE_PER_INSN * tb.guest_insn_count
-            self.machine.host.charge(cost, "translate")
+            if host.profiler is not None:
+                # Attribute the modelled translation cost to the new TB.
+                host._profile_key = (tb.pc, tb.mmu_idx)
+                host.profiler.register(tb)
+            host.charge(cost, "translate")
+            host._profile_key = None
             self.translation_cost += cost
+            if self.machine.tracer.enabled:
+                self.machine.tracer.emit(
+                    "tb.translate", pc=pc, tier=tb.meta.get("tier", "?"),
+                    guest_insns=tb.guest_insn_count,
+                    host_insns=len(tb.code))
         return tb
 
     # -- the cpu_exec loop -----------------------------------------------------------
@@ -414,6 +464,8 @@ class DbtEngineBase:
             # Deliver a pending interrupt at the loop head (QEMU does the
             # same before entering the code cache).
             if machine.env.read(ENV_IRQ):
+                if machine.tracer.enabled:
+                    machine.tracer.emit("irq.deliver", pc=machine.env.pc)
                 runtime.deliver_exception(MODE_IRQ, VECTOR_IRQ,
                                           machine.env.pc + 4)
                 machine.irq_delivered += 1
@@ -438,6 +490,9 @@ class DbtEngineBase:
                         detail="transient-retry budget exhausted"))
                 self.ladder.recovered_faults += 1
                 continue
+            if host.profiler is not None:
+                # The lookup cost belongs to the block about to run.
+                host._profile_key = (tb.pc, tb.mmu_idx)
             host.charge(COST_TB_LOOKUP, "runtime")
             if tb.meta.get("tier") == "interp":
                 self._execute_interp_tier(tb)
@@ -448,6 +503,8 @@ class DbtEngineBase:
                     not self.selfcheck.verify(tb, bytes(machine.env.data)):
                 # Differential mismatch *before* the TB ran: quarantine
                 # its rules and retranslate; live state is untouched.
+                if machine.tracer.enabled:
+                    machine.tracer.emit("ladder.selfcheck_fail", pc=tb.pc)
                 self._condemn_tb(tb, "self-check mismatch")
                 continue
             self._before_execute(tb)
@@ -503,6 +560,10 @@ class DbtEngineBase:
                 tb_pc=hex(tb.pc),
                 side_effects=machine.host.tb_side_effects))
         snapshot.restore(machine)
+        if machine.tracer.enabled:
+            machine.tracer.emit("ladder.recover", pc=tb.pc,
+                                rule=rule or "",
+                                reason=type(error).__name__)
         if rule is not None:
             self.ladder.quarantine_rule(rule, f"execute: {error}")
             self.cache.invalidate_rules([rule])
@@ -542,6 +603,10 @@ class DbtEngineBase:
         interp = self._tier_interp
         runtime.env_to_cpu()
         tb.exec_count += 1
+        if machine.profiler is not None:
+            machine.profiler.on_enter((tb.pc, tb.mmu_idx))
+        if machine.tracer.enabled:
+            machine.tracer.emit("tb.enter", pc=tb.pc, tier="interp")
         end = tb.pc + 4 * tb.guest_insn_count
         mode = cpu.mode
         steps = 0
@@ -552,6 +617,7 @@ class DbtEngineBase:
             machine.advance_time(max(interp.icount - before, 1))
             machine.host.charge(COST_INTERP_TIER_INSN, "interp_tier")
             steps += 1
+        machine.host._profile_key = None
         runtime.cpu_to_env()
         if cpu.halted and not cpu.irq_line:
             fast_forward_halt(
@@ -564,7 +630,13 @@ class DbtEngineBase:
 
     def _on_tb_enter(self, tb: TranslationBlock) -> None:
         tb.exec_count += 1
-        self.machine.advance_time(tb.guest_insn_count)
+        machine = self.machine
+        if machine.profiler is not None:
+            machine.profiler.on_enter((tb.pc, tb.mmu_idx))
+        if machine.tracer.enabled:
+            machine.tracer.emit("tb.enter", pc=tb.pc,
+                                tier=tb.meta.get("tier", "?"))
+        machine.advance_time(tb.guest_insn_count)
 
     def _chain(self, tb: TranslationBlock, slot: int) -> None:
         """Patch a goto_tb slot (block chaining)."""
@@ -592,6 +664,9 @@ class DbtEngineBase:
                 # interp-tier block (it has no host code to jump into).
                 return
             tb.jmp_target[slot] = next_tb
+            if machine.tracer.enabled:
+                machine.tracer.emit("tb.chain", from_pc=tb.pc, slot=slot,
+                                    to_pc=next_tb.pc)
 
     def _fast_forward_halt(self) -> None:
         machine = self.machine
@@ -621,9 +696,14 @@ class DbtEngineBase:
             **{f"tag_{tag}": float(count)
                for tag, count in host.by_tag.items()},
         }
-        base.update(self.ladder.stats())
-        if self.machine.watchdog is not None:
-            base["watchdog_trips"] = float(self.machine.watchdog.trips)
+        return base
+
+    def robustness_stats(self) -> Dict[str, float]:
+        """Degradation-ladder / self-check counters (``robust.`` group).
+
+        The machine itself publishes ``robust.watchdog_trips`` and the
+        injection counters, so they are deliberately absent here."""
+        base = self.ladder.stats()
         if self.selfcheck.enabled:
             base.update({
                 "selfcheck_checks": float(self.selfcheck.checks),

@@ -1,0 +1,37 @@
+"""Observability: structured tracing, per-TB profiling, stat namespacing.
+
+The subsystem has four pieces, all zero-cost when disabled:
+
+- :mod:`~repro.observability.trace` — a ring-buffered :class:`Tracer`
+  with named probe points threaded through the decoder, the rule
+  translator, the coordination emitter, the softmmu slow path, helper
+  entry, IRQ delivery, TB chaining and the robustness degradation
+  ladder.  :data:`NULL_TRACER` is the disabled singleton every probe
+  site checks first.
+- :mod:`~repro.observability.profile` — a :class:`Profiler` that
+  attributes dynamic host cost to individual TBs (split by the paper's
+  accounting tags) plus per-guest-PC and per-rule aggregation, and the
+  coordination-cost breakdown whose categories sum to ``host_cost``.
+- :mod:`~repro.observability.export` — Chrome trace-event JSON
+  (Perfetto-loadable) and machine-readable profile JSON exporters, plus
+  the schema validator the CI smoke step runs.
+- :mod:`~repro.observability.stats` — the namespaced
+  ``Machine.stats()`` merge (``engine.`` / ``robust.`` / ``io.`` /
+  ``trace.``) that makes silent key collisions impossible.
+"""
+
+from .export import (chrome_trace, validate_chrome_trace,
+                     write_chrome_trace, write_profile_json)
+from .profile import (COORDINATION_CATEGORIES, Profiler, build_profile,
+                      coordination_breakdown, render_profile)
+from .stats import STAT_NAMESPACES, merge_stats, namespace_group
+from .trace import (FLIGHT_RECORDER_EVENTS, NULL_TRACER, NullTracer,
+                    TraceEvent, Tracer)
+
+__all__ = [
+    "COORDINATION_CATEGORIES", "FLIGHT_RECORDER_EVENTS", "NULL_TRACER",
+    "NullTracer", "Profiler", "STAT_NAMESPACES", "TraceEvent", "Tracer",
+    "build_profile", "chrome_trace", "coordination_breakdown",
+    "merge_stats", "namespace_group", "render_profile",
+    "validate_chrome_trace", "write_chrome_trace", "write_profile_json",
+]

@@ -1,0 +1,139 @@
+"""Trace and profile exporters + the Chrome trace-event validator.
+
+:func:`chrome_trace` converts a tracer's event ring into the Chrome
+trace-event JSON format (the ``traceEvents`` array form), loadable in
+Perfetto / ``chrome://tracing``.  The time axis is the modelled host
+cost, mapped 1 cost unit -> 1 microsecond; each probe subsystem (the
+``tb.`` / ``sync.`` / ``mmu.`` ... prefixes) gets its own named thread
+row.  ``tb.enter`` events become ``"X"`` complete events whose duration
+runs to the next TB entry, so the top row reads as a flame of block
+executions; every other probe is an ``"I"`` instant event.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterable, List, Sequence
+
+from .trace import TraceEvent
+
+_PH_VALUES = ("X", "I", "M", "B", "E", "C")
+_PID = 1
+
+
+def _subsystem(name: str) -> str:
+    return name.split(".", 1)[0]
+
+
+def chrome_trace(events: Sequence[TraceEvent]) -> Dict[str, object]:
+    """Build a Chrome trace-event JSON object from tracer events."""
+    events = list(events)
+    tids: Dict[str, int] = {}
+    trace_events: List[Dict[str, object]] = [{
+        "name": "process_name", "ph": "M", "pid": _PID, "tid": 0,
+        "args": {"name": "repro system-level DBT"},
+    }]
+
+    def tid_for(subsystem: str) -> int:
+        tid = tids.get(subsystem)
+        if tid is None:
+            tid = tids[subsystem] = len(tids) + 1
+            trace_events.append({
+                "name": "thread_name", "ph": "M", "pid": _PID, "tid": tid,
+                "args": {"name": subsystem},
+            })
+        return tid
+
+    enter_ts = [event.ts for event in events if event.name == "tb.enter"]
+    last_ts = events[-1].ts if events else 0.0
+    enter_index = 0
+    for event in events:
+        args = {"icount": event.icount}
+        for key, value in event.args:
+            args[key] = value if isinstance(value, (int, float, str, bool)) \
+                else str(value)
+        record: Dict[str, object] = {
+            "name": event.name,
+            "pid": _PID,
+            "tid": tid_for(_subsystem(event.name)),
+            "ts": float(event.ts),
+            "args": args,
+        }
+        if event.name == "tb.enter":
+            enter_index += 1
+            end = enter_ts[enter_index] if enter_index < len(enter_ts) \
+                else last_ts
+            record["ph"] = "X"
+            record["dur"] = max(float(end - event.ts), 1.0)
+        else:
+            record["ph"] = "I"
+            record["s"] = "t"
+        trace_events.append(record)
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms",
+            "otherData": {"timeUnit": "host-cost units as microseconds"}}
+
+
+def validate_chrome_trace(obj: object) -> List[str]:
+    """Validate an object against the Chrome trace-event schema.
+
+    Returns a list of human-readable problems (empty = valid).  Checks
+    the subset of the spec Perfetto's JSON importer requires: a
+    ``traceEvents`` array whose entries have a string ``name``, a known
+    ``ph`` phase, integer ``pid``/``tid``, a non-negative numeric ``ts``
+    (metadata events may omit it) and, for ``"X"`` events, a
+    non-negative numeric ``dur``.
+    """
+    problems: List[str] = []
+    if not isinstance(obj, dict):
+        return [f"top level must be an object, got {type(obj).__name__}"]
+    events = obj.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-array 'traceEvents'"]
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        name = event.get("name")
+        if not isinstance(name, str) or not name:
+            problems.append(f"{where}: missing string 'name'")
+        phase = event.get("ph")
+        if phase not in _PH_VALUES:
+            problems.append(f"{where}: bad phase {phase!r}")
+        for field in ("pid", "tid"):
+            if not isinstance(event.get(field), int):
+                problems.append(f"{where}: '{field}' must be an integer")
+        ts = event.get("ts")
+        if phase != "M" or ts is not None:
+            if not isinstance(ts, (int, float)) or ts < 0:
+                problems.append(f"{where}: 'ts' must be a number >= 0")
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: 'X' event needs 'dur' >= 0")
+        args = event.get("args")
+        if args is not None and not isinstance(args, dict):
+            problems.append(f"{where}: 'args' must be an object")
+    return problems
+
+
+def _write_json(path: str, payload: object) -> str:
+    directory = os.path.dirname(os.path.abspath(path))
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=1, default=str)
+        handle.write("\n")
+    return path
+
+
+def write_chrome_trace(path: str,
+                       events: Iterable[TraceEvent]) -> str:
+    """Serialize tracer events as Chrome trace JSON; returns the path."""
+    return _write_json(path, chrome_trace(list(events)))
+
+
+def write_profile_json(path: str, profile: Dict[str, object]) -> str:
+    """Serialize a :func:`build_profile` result; returns the path."""
+    return _write_json(path, profile)

@@ -62,7 +62,6 @@ class DegradationController:
         self.transient_faults = 0
         self.recovered_faults = 0
         self.demotions = 0
-        self.watchdog_trips = 0
         self._consecutive_transients = 0
 
     # -- tier selection ----------------------------------------------------
@@ -115,7 +114,6 @@ class DegradationController:
             "transient_faults": float(self.transient_faults),
             "recovered_faults": float(self.recovered_faults),
             "tier_demotions": float(self.demotions),
-            "watchdog_trips": float(self.watchdog_trips),
         }
         for tier, count in self.tier_counts.items():
             base[f"tier_{tier}_tbs"] = float(count)

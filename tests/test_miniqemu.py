@@ -35,7 +35,7 @@ def test_tb_cache_reuses_translations():
     machine = run_flat(LOOP)
     stats = machine.stats()
     # The loop body TB is translated once but executed ~50 times.
-    assert stats["tb_count"] < 8
+    assert stats["engine.tb_count"] < 8
     loop_tbs = [tb for tb in machine.engine.cache.all_tbs()
                 if tb.exec_count > 10]
     assert loop_tbs
@@ -111,8 +111,8 @@ def test_packed_slot_holds_arm_convention():
 def test_translation_costs_are_charged_once():
     machine = run_flat(LOOP)
     stats = machine.stats()
-    static_insns = stats["static_guest_insns"]
-    assert stats["translation_cost"] == 300 * static_insns
+    static_insns = stats["engine.static_guest_insns"]
+    assert stats["engine.translation_cost"] == 300 * static_insns
 
 
 def test_stats_tags_cover_all_instructions():
@@ -120,6 +120,6 @@ def test_stats_tags_cover_all_instructions():
                        factory=make_rule_engine(OptLevel.FULL))
     stats = machine.stats()
     tag_total = sum(value for key, value in stats.items()
-                    if key.startswith("tag_"))
-    assert tag_total == stats["host_instructions"] + \
-        (stats["host_cost"] - stats["host_instructions"])
+                    if key.startswith("engine.tag_"))
+    assert tag_total == stats["engine.host_instructions"] + \
+        (stats["engine.host_cost"] - stats["engine.host_instructions"])

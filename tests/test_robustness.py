@@ -254,12 +254,12 @@ def test_engine_recovers_from_runaway_tb():
     assert code == 0
     assert machine.uart.text == "42\n"
     stats = machine.stats()
-    assert stats["watchdog_trips"] >= 1
-    assert stats["tier_demotions"] >= 1
-    assert stats["recovered_faults"] >= 1
-    assert stats["tb_invalidated"] >= 1
+    assert stats["robust.watchdog_trips"] >= 1
+    assert stats["robust.tier_demotions"] >= 1
+    assert stats["robust.recovered_faults"] >= 1
+    assert stats["engine.tb_invalidated"] >= 1
     # The demoted block was retranslated one tier down.
-    assert stats["tier_tcg_tbs"] >= 1
+    assert stats["robust.tier_tcg_tbs"] >= 1
 
 
 def test_engine_recovers_from_host_crash_tb():
@@ -283,7 +283,7 @@ def test_engine_recovers_from_host_crash_tb():
     code = machine.run(5_000_000)
     assert code == 0
     assert machine.uart.text == "7\n"
-    assert machine.stats()["tier_demotions"] >= 1
+    assert machine.stats()["robust.tier_demotions"] >= 1
 
 
 # ---------------------------------------------------------------------------
@@ -458,7 +458,7 @@ def test_transient_fault_matrix_preserves_correctness(spec):
     assert (code, text) == (0, COUNT_OUTPUT)
     stats = machine.stats()
     injected = sum(count for key, count in stats.items()
-                   if key.startswith("inj_"))
+                   if key.startswith("robust.inj_"))
     assert injected >= 1, f"scenario {spec} never fired"
 
 
@@ -466,10 +466,10 @@ def test_corrupted_rule_is_quarantined_and_run_completes():
     code, text, machine = _run_injected("seed=1,rule-corrupt=EOR")
     assert (code, text) == (0, COUNT_OUTPUT)
     stats = machine.stats()
-    assert stats["inj_rule_corrupt"] >= 1
-    assert stats["quarantined_rules"] >= 1
-    assert stats["recovered_faults"] >= 1
-    assert stats["tb_invalidated"] >= 1
+    assert stats["robust.inj_rule_corrupt"] >= 1
+    assert stats["robust.quarantined_rules"] >= 1
+    assert stats["robust.recovered_faults"] >= 1
+    assert stats["engine.tb_invalidated"] >= 1
     assert "EOR" in machine.engine.ladder.quarantined_rules
 
 
@@ -478,9 +478,9 @@ def test_wrong_result_rule_is_caught_by_selfcheck():
     code, text, machine = _run_injected("seed=1,rule-wrong=EOR")
     assert (code, text) == (0, COUNT_OUTPUT)
     stats = machine.stats()
-    assert stats["inj_rule_wrong"] >= 1
-    assert stats["selfcheck_failures"] >= 1
-    assert stats["quarantined_rules"] >= 1
+    assert stats["robust.inj_rule_wrong"] >= 1
+    assert stats["robust.selfcheck_failures"] >= 1
+    assert stats["robust.quarantined_rules"] >= 1
 
 
 def test_translate_time_rule_crash_quarantines_and_retries():
@@ -489,8 +489,8 @@ def test_translate_time_rule_crash_quarantines_and_retries():
     stats = machine.stats()
     # Every covered rule the workload needed ended up quarantined, yet
     # the run still completed through the fallback translations.
-    assert stats["quarantined_rules"] >= 3
-    assert stats["inj_rule_crash"] >= 3
+    assert stats["robust.quarantined_rules"] >= 3
+    assert stats["robust.inj_rule_crash"] >= 3
 
 
 def test_transient_budget_exhaustion_propagates():
@@ -516,20 +516,21 @@ def test_interp_tier_runs_whole_workload():
     assert code == 0
     assert machine.uart.text == COUNT_OUTPUT
     stats = machine.stats()
-    assert stats["tier_interp_tbs"] >= 1
-    assert stats["tier_tcg_tbs"] == 0
-    assert stats["tag_interp_tier"] > 0
+    assert stats["robust.tier_interp_tbs"] >= 1
+    assert stats["robust.tier_tcg_tbs"] == 0
+    assert stats["engine.tag_interp_tier"] > 0
 
 
 def test_rules_engine_reports_ladder_stats():
     code, text, machine = run_workload(COUNT_BODY, **RULES_KW)
     stats = machine.stats()
-    for key in ("quarantined_rules", "tier_demotions", "recovered_faults",
-                "tier_rules_tbs", "tier_tcg_tbs", "tier_interp_tbs",
-                "tb_invalidated"):
+    for key in ("robust.quarantined_rules", "robust.tier_demotions",
+                "robust.recovered_faults", "robust.tier_rules_tbs",
+                "robust.tier_tcg_tbs", "robust.tier_interp_tbs",
+                "engine.tb_invalidated"):
         assert key in stats
-    assert stats["tier_rules_tbs"] > 0
-    assert stats["quarantined_rules"] == 0
+    assert stats["robust.tier_rules_tbs"] > 0
+    assert stats["robust.quarantined_rules"] == 0
 
 
 # ---------------------------------------------------------------------------

@@ -221,7 +221,7 @@ def test_unoptimized_rules_slower_than_optimized():
         _, _, machine = run_workload(
             body, engine="rules",
             rule_engine_factory=make_rule_engine(level))
-        costs[level] = machine.stats()["host_cost"]
+        costs[level] = machine.stats()["engine.host_cost"]
     assert costs[OptLevel.FULL] < costs[OptLevel.BASE]
 
 

@@ -106,4 +106,4 @@ def test_engines_agree():
 def test_tcg_reports_host_instructions():
     _, _, machine = run_workload(ARITHMETIC, engine="tcg")
     stats = machine.stats()
-    assert stats["host_instructions"] > stats["guest_icount"] > 0
+    assert stats["engine.host_instructions"] > stats["engine.guest_icount"] > 0

@@ -172,7 +172,7 @@ cont:
         _, _, machine = run_workload(
             body, engine="rules",
             rule_engine_factory=make_rule_engine(level))
-        costs[level] = machine.stats().get("tag_sync", 0.0)
+        costs[level] = machine.stats().get("engine.tag_sync", 0.0)
     assert costs[OptLevel.FULL] < costs[OptLevel.ELIMINATION]
 
 
