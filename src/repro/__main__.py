@@ -16,6 +16,12 @@ Commands:
 - ``faultsmoke [--seeds N]`` — the robustness smoke matrix: run a
   seeded fault-injection scenario grid and check every run still
   produces the correct guest output and exit code.
+- ``check [--all]`` — the translation soundness checker: symbolically
+  classify every learned rule (proved / tested-only / refuted) and run
+  the dataflow verifier over the TB population of representative
+  workloads.  ``--format json|table`` selects the output, ``--out``
+  writes the findings JSON, and the exit code is 0 (clean), 1
+  (findings above ``--fail-on``), or 2 (usage error).
 - ``profile WORKLOAD [--engine E] [--top N]`` — run with tracing and
   profiling enabled, print the hot-TB table and the coordination-cost
   breakdown, and export profile + Chrome trace JSON under
@@ -25,8 +31,10 @@ Commands:
 
 ``run`` and ``exec`` accept ``--inject SPEC`` to enable deterministic
 fault injection, e.g. ``--inject seed=7,mem=0.01,rule-corrupt=SUB``
-(see ``repro.robustness.faultinject``), and ``--trace PATH`` to record
-a Chrome trace of the run.
+(see ``repro.robustness.faultinject``), ``--trace PATH`` to record a
+Chrome trace of the run, and ``--check`` to enable verify-before-enter:
+every rules-tier TB is statically verified before entering the code
+cache and demoted down the degradation ladder on an ERROR finding.
 """
 
 from __future__ import annotations
@@ -117,11 +125,18 @@ def _run_and_print(workload, args) -> int:
         tracer = Tracer()
     try:
         result = run_workload(workload, args.engine, inject=args.inject,
-                              tracer=tracer)
+                              tracer=tracer,
+                              check=getattr(args, "check", False))
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
     _print_run(result)
+    if getattr(args, "check", False):
+        stats = result.stats
+        print(f"check: {stats.get('engine.check_tbs', 0):.0f} TB "
+              f"verification(s), "
+              f"{stats.get('engine.check_rejected', 0):.0f} rejected, "
+              f"{stats.get('engine.check_findings', 0):.0f} finding(s)")
     if tracer is not None:
         from .observability import write_chrome_trace
         path = write_chrome_trace(args.trace, tracer.events())
@@ -185,6 +200,50 @@ def cmd_faultsmoke(args) -> int:
         return 1
     print(f"all {len(rows)} scenarios passed")
     return 0
+
+
+def cmd_check(args) -> int:
+    from .analysis.checker import (ALL_CHECK_ENGINES, ALL_CHECK_WORKLOADS,
+                                   DEFAULT_ENGINES, DEFAULT_WORKLOADS,
+                                   run_check)
+    from .analysis.findings import severity_from_name
+    from .common.errors import ReproError
+
+    try:
+        threshold = severity_from_name(args.fail_on)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.workload:
+        unknown = [w for w in args.workload if w not in ALL_WORKLOADS]
+        if unknown:
+            print(f"unknown workload(s): {', '.join(unknown)} "
+                  f"(try: python -m repro list)", file=sys.stderr)
+            return 2
+        workloads = tuple(args.workload)
+    else:
+        workloads = ALL_CHECK_WORKLOADS if args.all else DEFAULT_WORKLOADS
+    engines = ALL_CHECK_ENGINES if args.all else DEFAULT_ENGINES
+    try:
+        report = run_check(workloads=workloads, engines=engines,
+                           rules=not args.no_rules,
+                           include_waivers=args.waivers,
+                           inject=args.inject, profile=args.profile)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.out:
+        import os
+        directory = os.path.dirname(args.out)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(args.out, "w") as handle:
+            handle.write(report.to_json() + "\n")
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.render_table())
+    return report.exit_code(threshold)
 
 
 #: Default export directory for ``repro profile`` artifacts.
@@ -326,6 +385,9 @@ def main(argv=None) -> int:
                                  "seed=7,mem=0.01,rule-corrupt=SUB")
     run_parser.add_argument("--trace", metavar="PATH", default=None,
                             help="write a Chrome trace JSON of the run")
+    run_parser.add_argument("--check", action="store_true",
+                            help="verify every rules-tier TB before it "
+                                 "enters the code cache")
 
     exec_parser = sub.add_parser("exec", help="run a guest assembly file")
     exec_parser.add_argument("file")
@@ -335,6 +397,38 @@ def main(argv=None) -> int:
                              help="fault-injection spec")
     exec_parser.add_argument("--trace", metavar="PATH", default=None,
                              help="write a Chrome trace JSON of the run")
+    exec_parser.add_argument("--check", action="store_true",
+                             help="verify every rules-tier TB before it "
+                                  "enters the code cache")
+
+    check_parser = sub.add_parser(
+        "check", help="run the translation soundness checker")
+    check_parser.add_argument("--all", action="store_true",
+                              help="full matrix: representative workloads "
+                                   "at every optimization level")
+    check_parser.add_argument("--workload", action="append", default=[],
+                              metavar="NAME",
+                              help="check this workload (repeatable; "
+                                   "overrides the default set)")
+    check_parser.add_argument("--no-rules", action="store_true",
+                              help="skip the symbolic rulebook phase")
+    check_parser.add_argument("--waivers", action="store_true",
+                              help="also report info-level waivers "
+                                   "(documented imprecisions)")
+    check_parser.add_argument("--profile", action="store_true",
+                              help="attach profiler cost to findings")
+    check_parser.add_argument("--inject", metavar="SPEC", default=None,
+                              help="fault-injection spec (the checker "
+                                   "must flag what it corrupts)")
+    check_parser.add_argument("--format", choices=("table", "json"),
+                              default="table")
+    check_parser.add_argument("--out", metavar="PATH", default=None,
+                              help="write the findings report JSON here")
+    check_parser.add_argument("--fail-on", metavar="SEVERITY",
+                              default="info",
+                              help="exit 1 when any finding exceeds this "
+                                   "severity (info/warning/error; "
+                                   "default info)")
 
     profile_parser = sub.add_parser(
         "profile", help="profile a workload (hot TBs + cost breakdown)")
@@ -376,7 +470,7 @@ def main(argv=None) -> int:
     handlers = {"list": cmd_list, "run": cmd_run, "exec": cmd_exec,
                 "compare": cmd_compare, "bench": cmd_bench,
                 "learn": cmd_learn, "faultsmoke": cmd_faultsmoke,
-                "profile": cmd_profile,
+                "profile": cmd_profile, "check": cmd_check,
                 "validate-trace": cmd_validate_trace}
     return handlers[args.command](args)
 

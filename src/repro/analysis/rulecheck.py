@@ -1,0 +1,327 @@
+"""Symbolic classification of learned translation rules.
+
+Strengthens :mod:`repro.learning.verify` from sampled concrete testing
+to *bounded symbolic verification*: every comparison the verifier makes
+(variable home registers, return values, store addresses/sizes/values,
+branch operands) is decided with the BDD bit-blaster, and each rulebook
+entry is classified:
+
+``proved``
+    every comparison closed by normalization or by the BDD decision
+    procedure — the rule is equivalent for all 2^32 assignments;
+``tested-only``
+    at least one comparison exceeded the bit-blasting budget (or used
+    an unsupported construct) and only the 64-vector sampled check
+    vouches for it;
+``refuted``
+    some comparison provably differs; the verdict carries a concrete
+    witness assignment (validated by concrete evaluation on both
+    fragments, so a refutation is never a model artifact).
+
+Refuted rules are unsound by construction and are auto-quarantined
+through the PR 1 degradation ladder (:func:`quarantine_refuted`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..common.errors import RuleVerificationError
+from ..host.isa import EAX, REG_NAMES
+from ..learning.extract import CandidateRule
+from ..learning.symexec.arm_exec import ArmSymExec
+from ..learning.symexec.expr import (MASK, Sym, evaluate, probably_equal,
+                                     proved_equal)
+from ..learning.symexec.x86_exec import X86SymExec
+from ..learning.verify import _SCRATCH_PAIRS
+from .bitblast import BudgetExceeded, Unsupported, check_equivalent
+from .findings import Finding, Severity
+
+CLASS_PROVED = "proved"
+CLASS_TESTED = "tested-only"
+CLASS_REFUTED = "refuted"
+
+_CLASS_RANK = {CLASS_PROVED: 0, CLASS_TESTED: 1, CLASS_REFUTED: 2}
+
+
+@dataclass
+class RuleVerdict:
+    """Classification of one candidate (or one merged rule)."""
+
+    classification: str
+    reason: str = ""
+    witness: Optional[Dict[str, int]] = None
+    #: per-comparison detail: (what, classification)
+    checks: List[Tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def refuted(self) -> bool:
+        return self.classification == CLASS_REFUTED
+
+
+def _sampled_counterexample(a, b, trials: int = 256,
+                            seed: int = 0x5EED) -> Optional[Dict[str, int]]:
+    """Replay the sampled check, returning the refuting env if any."""
+    names: set = set()
+    for expr in (a, b):
+        _collect(expr, names)
+    rng = random.Random(seed)
+    corner = [0, 1, MASK, 0x80000000, 0x7FFFFFFF]
+    for trial in range(trials):
+        if trial < len(corner):
+            env = {name: corner[trial] for name in names}
+        else:
+            env = {name: rng.getrandbits(32) for name in names}
+        if evaluate(a, env) != evaluate(b, env):
+            return env
+    return None
+
+
+def _collect(expr, out: set) -> None:
+    if isinstance(expr, Sym):
+        out.add(expr.name)
+    elif hasattr(expr, "args"):
+        for arg in expr.args:
+            _collect(arg, out)
+
+
+def classify_equiv(a, b, budget: int = 250_000
+                   ) -> Tuple[str, Optional[Dict[str, int]]]:
+    """Classify one expression pair: proved / tested-only / refuted.
+
+    A ``refuted`` result always carries a witness that has been
+    *validated by concrete evaluation* of both expressions, so the
+    uninterpreted-load over-approximation in the bit-blaster can only
+    downgrade a verdict to ``tested-only``, never fabricate a
+    refutation.
+    """
+    if proved_equal(a, b):
+        return CLASS_PROVED, None
+    try:
+        equal, witness = check_equivalent(a, b, budget=budget)
+        if equal:
+            return CLASS_PROVED, None
+        if witness is not None and evaluate(a, witness) != \
+                evaluate(b, witness):
+            return CLASS_REFUTED, witness
+        # The BDD difference hinged on unconstrained load values the
+        # concrete hash model does not realize: inconclusive.
+    except (BudgetExceeded, Unsupported):
+        pass
+    if probably_equal(a, b):
+        return CLASS_TESTED, None
+    witness = _sampled_counterexample(a, b)
+    if witness is not None:
+        return CLASS_REFUTED, witness
+    return CLASS_TESTED, None
+
+
+def classify_candidate(candidate: CandidateRule,
+                       budget: int = 250_000) -> RuleVerdict:
+    """Re-verify one candidate symbolically, mirroring the comparisons
+    of :func:`repro.learning.verify.verify`."""
+    guest_init: Dict[str, object] = {}
+    host_init: Dict[str, object] = {}
+    for var, guest_reg in candidate.guest_vars.items():
+        symbol = Sym(var)
+        guest_init[guest_reg] = symbol
+        host_init[REG_NAMES[candidate.host_vars[var]]] = symbol
+    for guest_scratch, host_scratch in _SCRATCH_PAIRS:
+        symbol = Sym(f"scratch_{guest_scratch}")
+        guest_init.setdefault(guest_scratch, symbol)
+        host_init.setdefault(host_scratch, symbol)
+
+    try:
+        guest_state = ArmSymExec(guest_init).execute(candidate.guest)
+        host_state = X86SymExec(host_init).execute(candidate.host)
+    except RuleVerificationError as exc:
+        return RuleVerdict(CLASS_TESTED, reason=f"unmodelled: {exc}")
+
+    verdict = RuleVerdict(CLASS_PROVED)
+
+    def compare(what: str, a, b) -> bool:
+        classification, witness = classify_equiv(a, b, budget=budget)
+        verdict.checks.append((what, classification))
+        if _CLASS_RANK[classification] > \
+                _CLASS_RANK[verdict.classification]:
+            verdict.classification = classification
+            verdict.reason = f"{what} " + (
+                "differs" if classification == CLASS_REFUTED
+                else "not decidable within budget")
+            verdict.witness = witness
+        return classification != CLASS_REFUTED
+
+    def refute_structural(reason: str,
+                          witness: Optional[Dict] = None) -> RuleVerdict:
+        verdict.classification = CLASS_REFUTED
+        verdict.reason = reason
+        verdict.witness = witness
+        return verdict
+
+    for var, guest_reg in candidate.guest_vars.items():
+        host_reg = REG_NAMES[candidate.host_vars[var]]
+        guest_value = guest_state.regs.get(guest_reg, Sym(var))
+        host_value = host_state.regs.get(host_reg, Sym(var))
+        if not compare(f"variable {var}", guest_value, host_value):
+            return verdict
+
+    if guest_state.jumps and host_state.jumps and \
+            guest_state.branch is None:
+        guest_value = guest_state.regs.get("r0")
+        host_value = host_state.regs.get(REG_NAMES[EAX])
+        if (guest_value is None) != (host_value is None):
+            return refute_structural("return value on one side only")
+        if guest_value is not None:
+            if not compare("return value", guest_value, host_value):
+                return verdict
+
+    if len(guest_state.stores) != len(host_state.stores):
+        return refute_structural(
+            "store counts differ",
+            {"guest_stores": len(guest_state.stores),
+             "host_stores": len(host_state.stores)})
+    for index, ((guest_addr, guest_size, guest_value),
+                (host_addr, host_size, host_value)) in enumerate(
+            zip(guest_state.stores, host_state.stores)):
+        if guest_size != host_size:
+            return refute_structural(
+                f"store {index} sizes differ",
+                {"guest_size": guest_size, "host_size": host_size})
+        if not compare(f"store {index} address", guest_addr, host_addr):
+            return verdict
+        if not compare(f"store {index} value", guest_value, host_value):
+            return verdict
+
+    if (guest_state.branch is None) != (host_state.branch is None):
+        return refute_structural("branch structure differs")
+    if guest_state.branch is not None:
+        guest_cond, guest_lhs, guest_rhs = guest_state.branch
+        host_cond, host_lhs, host_rhs = host_state.branch
+        if guest_cond != host_cond:
+            return refute_structural(
+                f"conditions differ: {guest_cond} vs {host_cond}")
+        if not compare("branch lhs", guest_lhs, host_lhs):
+            return verdict
+        if not compare("branch rhs", guest_rhs, host_rhs):
+            return verdict
+    if guest_state.jumps != host_state.jumps:
+        return refute_structural("jump structure differs")
+
+    return verdict
+
+
+# ---------------------------------------------------------------------------
+# Rulebook-level classification.
+# ---------------------------------------------------------------------------
+
+
+def candidate_id(candidate: CandidateRule) -> str:
+    return f"{candidate.function}:{candidate.line}"
+
+
+def classify_candidates(candidates: List[CandidateRule],
+                        budget: int = 250_000
+                        ) -> Dict[str, RuleVerdict]:
+    """Classify every candidate; keyed by ``function:line``."""
+    return {candidate_id(c): classify_candidate(c, budget=budget)
+            for c in candidates}
+
+
+def aggregate_rule_verdict(rule, by_candidate: Dict[str, RuleVerdict]
+                           ) -> RuleVerdict:
+    """Fold the verdicts of a merged rule's origins into one.
+
+    A rule is only as strong as its weakest origin: any refuted origin
+    refutes the rule; any tested-only origin demotes ``proved``.
+    """
+    verdict = RuleVerdict(CLASS_PROVED)
+    for function, line in rule.origins:
+        origin = by_candidate.get(f"{function}:{line}")
+        if origin is None:
+            continue
+        if _CLASS_RANK[origin.classification] > \
+                _CLASS_RANK[verdict.classification]:
+            verdict = RuleVerdict(origin.classification,
+                                  reason=origin.reason,
+                                  witness=origin.witness,
+                                  checks=list(origin.checks))
+    return verdict
+
+
+def rule_findings(rules, by_candidate: Dict[str, RuleVerdict]
+                  ) -> List[Finding]:
+    """Findings for every non-proved rulebook entry."""
+    findings = []
+    for index, rule in enumerate(rules):
+        verdict = aggregate_rule_verdict(rule, by_candidate)
+        rule_id = f"rule{index}({rule.guest_pattern[0]})"
+        if verdict.refuted:
+            witness = dict(verdict.witness or {})
+            findings.append(Finding(
+                severity=Severity.ERROR, code="rule-refuted",
+                message=f"learned rule refuted: {verdict.reason}",
+                rule=rule_id,
+                witness={k: f"0x{v:x}" if isinstance(v, int) else v
+                         for k, v in witness.items()} or None))
+        elif verdict.classification == CLASS_TESTED:
+            findings.append(Finding(
+                severity=Severity.INFO, code="rule-tested-only",
+                message=("rule not closed symbolically "
+                         f"({verdict.reason or 'sampled check only'})"),
+                rule=rule_id))
+    return findings
+
+
+def quarantine_refuted(candidates: List[CandidateRule],
+                       by_candidate: Dict[str, RuleVerdict],
+                       quarantine) -> List[str]:
+    """Quarantine every rule key a refuted candidate covers.
+
+    *quarantine* is the PR 1 :class:`repro.core.rulebook.QuarantineFilter`
+    (or anything with its ``quarantine(key, reason)`` signature).
+    Returns the quarantined keys.
+    """
+    keys: List[str] = []
+    for candidate in candidates:
+        verdict = by_candidate.get(candidate_id(candidate))
+        if verdict is None or not verdict.refuted:
+            continue
+        for insn in candidate.guest:
+            key = insn.op.name
+            if key not in keys:
+                quarantine.quarantine(
+                    key, f"refuted by symbolic verifier: {verdict.reason}")
+                keys.append(key)
+    return keys
+
+
+# ---------------------------------------------------------------------------
+# A deliberately-refutable fixture (for tests and demonstrations).
+# ---------------------------------------------------------------------------
+
+
+def refutable_fixture() -> CandidateRule:
+    """A candidate whose host code computes the wrong value.
+
+    Guest: ``add r4, r4, r5`` — host: ``sub ebx, esi``.  The sampled
+    verifier and the symbolic classifier must both reject it; the
+    classifier additionally produces a concrete witness.
+    """
+    from ..guest.asm import assemble
+    from ..guest.decoder import decode
+    from ..host.builder import CodeBuilder
+    from ..host.isa import EBX, ESI, Reg
+
+    program = assemble("    add r4, r4, r5", base=0)
+    word = int.from_bytes(program.data[0:4], "little")
+    guest = [decode(word, 0)]
+    builder = CodeBuilder()
+    builder.sub(Reg(EBX), Reg(ESI))
+    host = list(builder.insns)
+    return CandidateRule(
+        function="__fixture_wrong_add", line=1,
+        guest=guest, host=host,
+        guest_vars={"a": "r4", "b": "r5"},
+        host_vars={"a": EBX, "b": ESI})

@@ -81,6 +81,30 @@ def flags_written(insn: ArmInsn) -> int:
     return F_NONE
 
 
+def flags_written_may(insn: ArmInsn) -> int:
+    """NZCV bits this instruction *may* write (regardless of its condition).
+
+    A conditionally-executed flag-setter (``cond != AL`` with the S bit)
+    writes its flags only on the taken path, so callers that need a
+    *must*-def (liveness kills, define-before-use proofs) have to use
+    :func:`flags_written_definite` instead.  This alias exists to make the
+    may/must distinction explicit at call sites.
+    """
+    return flags_written(insn)
+
+
+def flags_written_definite(insn: ArmInsn) -> int:
+    """NZCV bits this instruction writes on *every* path through it.
+
+    Conditional instructions contribute nothing: on the skipped path the
+    flags pass through unchanged, so they are may-defs only and can never
+    justify eliding a predecessor's sync-save.
+    """
+    if insn.cond != Cond.AL:
+        return F_NONE
+    return flags_written(insn)
+
+
 def _shifter_touches_carry(insn: ArmInsn) -> bool:
     op2 = insn.op2
     if op2 is None:
@@ -215,8 +239,7 @@ def analyze_block(insns: List[ArmInsn], rulebook=None) -> BlockInfo:
             # Helpers may architecturally read the CPSR.
             live = F_ALL
             continue
-        definite_write = item.writes if item.insn.cond == Cond.AL else 0
-        live = (live & ~definite_write) | item.reads
+        live = (live & ~flags_written_definite(item.insn)) | item.reads
 
     # Live-in requirement (for inter-TB define-before-use proofs):
     # conservatively, a flag is NOT needed at entry iff the block
@@ -230,11 +253,15 @@ def analyze_block(insns: List[ArmInsn], rulebook=None) -> BlockInfo:
                 not item.covered:
             needed |= F_ALL & ~defined
             break
-        if item.insn.cond == Cond.AL:
-            defined |= item.writes
+        defined |= flags_written_definite(item.insn)
         if defined == F_ALL:
             break
-    info.live_in = needed
+    # A flag the block never definitely writes is still required at
+    # entry: it flows through to the block's own (conservative) live-out.
+    # Without this term a pass-through block would report live_in == 0
+    # and let a predecessor elide a save whose flags the *successor's
+    # successors* still read.
+    info.live_in = needed | (F_ALL & ~defined)
     return info
 
 

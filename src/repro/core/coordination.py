@@ -29,7 +29,9 @@ Figures 8 and 17 measure.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
 
+from ..analysis.justify import restore_event, save_event
 from ..host.builder import CodeBuilder
 from ..host.isa import EAX, EDX, ENV_REG, Imm, Mem, Reg, X86Cond
 from ..miniqemu.env import (ENV_CF, ENV_NF, ENV_PACKED_FLAGS,
@@ -62,11 +64,16 @@ class FlagsState:
     """Where the live guest CCR is, during emission of one TB."""
 
     def __init__(self, builder: CodeBuilder, stats: SyncStats,
-                 packed: bool, tracer=NULL_TRACER):
+                 packed: bool, tracer=NULL_TRACER,
+                 audit: Optional[List[Dict[str, Any]]] = None):
         self.builder = builder
         self.stats = stats
         self.packed = packed
         self.tracer = tracer
+        #: audit-event sink (tb.meta["audit"]): every save/restore range
+        #: is recorded so the soundness checker can anchor its abstract
+        #: interpretation (see repro.analysis.justify).
+        self.audit = audit if audit is not None else []
         # At TB entry QEMU's env holds the authoritative flags.  Which
         # representation is current depends on the mode: packed-sync
         # predecessors publish the packed word, Base predecessors (and
@@ -125,7 +132,7 @@ class FlagsState:
 
     # -- sync-save ----------------------------------------------------------------
 
-    def emit_save(self, parsed: bool = False) -> None:
+    def emit_save(self, parsed: bool = False, reason: str = "site") -> None:
         """Sync-save: publish EFLAGS into env before control reaches QEMU.
 
         Uses the packed one-word scheme when the reduction optimization
@@ -152,11 +159,10 @@ class FlagsState:
         self.stats.saves += 1
         emitted = len(builder.insns) - before
         self.stats.save_insns += emitted
+        mode = "packed" if self.packed and not parsed else "parsed"
+        self.audit.append(save_event(before, before + emitted, mode, reason))
         if self.tracer.enabled:
-            self.tracer.emit(
-                "sync.save",
-                mode="packed" if self.packed and not parsed else "parsed",
-                insns=emitted)
+            self.tracer.emit("sync.save", mode=mode, insns=emitted)
 
     def ensure_parsed(self) -> None:
         """Make the per-bit fields current (before inline QEMU code)."""
@@ -206,11 +212,10 @@ class FlagsState:
         self.stats.restores += 1
         emitted = len(builder.insns) - before
         self.stats.restore_insns += emitted
+        mode = "packed" if packed_reload else "parsed"
+        self.audit.append(restore_event(before, before + emitted, mode))
         if self.tracer.enabled:
-            self.tracer.emit(
-                "sync.restore",
-                mode="packed" if packed_reload else "parsed",
-                insns=emitted)
+            self.tracer.emit("sync.restore", mode=mode, insns=emitted)
 
     def _emit_parsed_restore(self) -> None:
         """Rebuild an EFLAGS word from the four per-bit env fields."""

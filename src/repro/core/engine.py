@@ -26,11 +26,20 @@ class RuleEngine(DbtEngineBase):
     tiers = ("rules", "tcg", "interp")
 
     def __init__(self, machine: Machine, level: OptLevel = OptLevel.FULL,
-                 rulebook=None, config: Optional[OptConfig] = None):
+                 rulebook=None, config: Optional[OptConfig] = None,
+                 check: bool = False):
         super().__init__(machine)
         self.level = level
         self.config = config if config is not None \
             else OptConfig.from_level(level)
+        #: verify-before-enter mode (``--check``): statically verify
+        #: every rules-tier TB before it is inserted into the code
+        #: cache; blocks with ERROR findings are demoted and
+        #: retranslated at a lower tier (see :meth:`_vet_tb`).
+        self.check = check
+        self.check_tbs = 0
+        self.check_rejected = 0
+        self.check_findings = 0
         # Quarantine sits *inside* the structural filter: a quarantined
         # rule stops covering its instructions, so the translator (and
         # the coverage analysis) route them through the QEMU fallback.
@@ -101,6 +110,42 @@ class RuleEngine(DbtEngineBase):
         return translator.translate(pc, insns)
 
     # ------------------------------------------------------------------
+    # Verify-before-enter (``--check``).
+    # ------------------------------------------------------------------
+
+    def _vet_tb(self, tb: TranslationBlock) -> TranslationBlock:
+        """Statically verify a fresh rules-tier TB before caching it.
+
+        Any ERROR finding demotes the block down the degradation
+        ladder and retranslates; the loop terminates because each
+        demotion lowers the starting tier and the tcg/interp tiers are
+        not subject to dataflow checking.
+        """
+        if not self.check:
+            return tb
+        from ..analysis.dataflow import check_tb
+        from ..analysis.findings import Severity
+
+        while tb.meta.get("tier") == "rules":
+            findings = check_tb(tb, self.config,
+                                live_in_of=self.successor_live_in,
+                                rulebook=self.rulebook)
+            self.check_tbs += 1
+            self.check_findings += len(findings)
+            errors = [f for f in findings if f.severity is Severity.ERROR]
+            if not errors:
+                break
+            self.check_rejected += 1
+            if self.machine.tracer.enabled:
+                self.machine.tracer.emit(
+                    "check.reject", pc=tb.pc, code=errors[0].code,
+                    n_errors=len(errors))
+            self.ladder.demote(tb.pc, tb.mmu_idx)
+            tb = self.translate(tb.pc, tb.mmu_idx)
+            self.machine.injector.instrument_tb(tb)
+        return tb
+
+    # ------------------------------------------------------------------
     # Statistics (coordination accounting for Figs 8/16/17 + Table I).
     # ------------------------------------------------------------------
 
@@ -124,15 +169,22 @@ class RuleEngine(DbtEngineBase):
             "flag_parses": float(self.machine.runtime.flag_parse_count),
             "opt_level": float(self.level),
         })
+        if self.check:
+            base.update({
+                "check_tbs": float(self.check_tbs),
+                "check_rejected": float(self.check_rejected),
+                "check_findings": float(self.check_findings),
+            })
         return base
 
 
 def make_rule_engine(level: OptLevel = OptLevel.FULL, rulebook=None,
-                     config: Optional[OptConfig] = None):
+                     config: Optional[OptConfig] = None,
+                     check: bool = False):
     """Factory for ``Machine(engine="rules", rule_engine_factory=...)``."""
 
     def factory(machine: Machine) -> RuleEngine:
         return RuleEngine(machine, level=level, rulebook=rulebook,
-                          config=config)
+                          config=config, check=check)
 
     return factory

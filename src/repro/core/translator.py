@@ -33,6 +33,11 @@ import copy
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
+from ..analysis.justify import (AUDIT_KEY, JUSTIFY_KEY, ORIGINAL_INSNS_KEY,
+                                elide_save_justification, fallback_event,
+                                inter_tb_justification,
+                                irq_reloc_justification, produce_event,
+                                reorder_justification, terminal_event)
 from ..common.bitops import u32
 from ..guest.isa import (ArmInsn, COMPARE_OPS, Cond, DATA_PROCESSING_OPS,
                          Op, PC, ShiftKind, VFP_ARITH_OPS)
@@ -94,15 +99,23 @@ class RuleTranslator:
 
     def translate(self, pc: int, insns: List[ArmInsn]) -> TranslationBlock:
         config = self.config
+        original = list(insns)
         if config.scheduling:
             insns = schedule_define_before_use(insns)
+        reordered = any(a is not b for a, b in zip(original, insns))
         info = analyze_block(insns, self.rulebook)
 
         self.builder = builder = CodeBuilder(default_tag=RULE_TAG)
         self.stats = SyncStats()
+        self._audit = []
+        self._justifications = []
+        if reordered:
+            self._justifications.append(reorder_justification(
+                [i.addr for i in original], [i.addr for i in insns]))
         self.flags = FlagsState(builder, self.stats,
                                 packed=config.packed_sync,
-                                tracer=self.tracer)
+                                tracer=self.tracer,
+                                audit=self._audit)
         self.cache = RegCache(builder)
         self.alu = AluEmitter(builder, self.cache)
         self._cold_stubs: List[_ColdStub] = []
@@ -117,6 +130,9 @@ class RuleTranslator:
             if config.irq_scheduling else None
         if relocate_to is None:
             self._emit_irq_check(resume_pc=pc)
+        else:
+            self._justifications.append(irq_reloc_justification(
+                relocate_to, resume_pc=info.insns[relocate_to].insn.addr))
 
         for index, item in enumerate(info.insns):
             if relocate_to == index:
@@ -150,7 +166,11 @@ class RuleTranslator:
             "rules_used": sorted({item.insn.op.name for item in info.insns
                                   if item.covered and
                                   not item.insn.is_branch()}),
+            AUDIT_KEY: self._audit,
+            JUSTIFY_KEY: self._justifications,
         }
+        if reordered:
+            tb.meta[ORIGINAL_INSNS_KEY] = original
         return tb
 
     # ------------------------------------------------------------------
@@ -219,6 +239,9 @@ class RuleTranslator:
                 # env is already current: the naive policy would have
                 # saved here — a consecutive-site elision (Sec III-C-2).
                 self.stats.elided_saves += 1
+                self._justifications.append(elide_save_justification(
+                    len(self.builder.insns), self.flags.packed_ok,
+                    self.flags.parsed_ok))
                 if self.tracer.enabled:
                     self.tracer.emit("sync.elide", kind="consecutive")
             return False
@@ -326,6 +349,7 @@ class RuleTranslator:
         if clobbers:
             self.flags.on_clobber()
 
+        body_start = len(self.builder.insns)
         if op in DATA_PROCESSING_OPS:
             if insn.rd == PC and op not in COMPARE_OPS:
                 self._emit_pc_write_dp(insn)
@@ -344,6 +368,11 @@ class RuleTranslator:
         if writes:
             kind, partial = self.alu.produces_kind(insn)
             self.flags.on_produce(kind, partial=partial)
+            self._audit.append(produce_event(
+                body_start, len(self.builder.insns), flags=writes,
+                live_after=item.live_after,
+                carry=kind.name.lower() if kind is not None else None,
+                partial=partial, guest_addr=insn.addr))
 
     # ------------------------------------------------------------------
     # Conditional execution.
@@ -767,6 +796,8 @@ class RuleTranslator:
                          self.successor_live_in(target_pc) == 0)
             if skip_save:
                 self.stats.inter_tb_elisions += 1
+                self._justifications.append(inter_tb_justification(
+                    len(builder.insns), u32(target_pc), live_in=0))
                 if self.tracer.enabled:
                     self.tracer.emit("sync.elide", kind="inter-tb",
                                      target_pc=target_pc)
@@ -791,6 +822,7 @@ class RuleTranslator:
         self.flags.on_clobber()
 
         if insn.op is Op.SVC:
+            self._audit.append(terminal_event(len(builder.insns)))
             builder.call_helper(make_svc_helper(insn), tag="helper")
             self._ended = True
             return
@@ -813,6 +845,7 @@ class RuleTranslator:
                 return
             from ..host.isa import ESP
             builder.push(Reg(EAX), tag="helper")
+            self._audit.append(terminal_event(len(builder.insns)))
             builder.call_helper(make_exception_return_helper(insn),
                                 args=(Mem(base=ESP, disp=0),), tag="helper")
             self._ended = True
@@ -860,6 +893,9 @@ class RuleTranslator:
             # The fallback may clobber EFLAGS; the pre-splice save (or
             # prior currency) keeps env authoritative.
             self.flags.on_clobber()
+        self._audit.append(fallback_event(
+            offset, len(builder.insns), reads=reads,
+            writes=flags_written(insn), ended=ended))
         if ended:
             self._ended = True
         else:

@@ -608,7 +608,8 @@ class Assembler:
             first = offset_pieces[0]
             if first.startswith("#"):
                 value = self._eval(first[1:], line_no, source)
-                insn.add_offset = value >= 0
+                insn.add_offset = value > 0 or (
+                    value == 0 and not first[1:].lstrip().startswith("-"))
                 insn.mem_offset_imm = abs(value)
             else:
                 negative = first.startswith("-")

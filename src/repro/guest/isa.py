@@ -354,7 +354,9 @@ class ArmInsn:
                 off += f", {SHIFT_NAMES[self.mem_shift]} #{self.mem_shift_imm}"
         else:
             sign = "" if self.add_offset else "-"
-            off = f"#{sign}{self.mem_offset_imm}" if self.mem_offset_imm else ""
+            # "#-0" (U clear, offset 0) must not collapse to "#0"/"".
+            off = f"#{sign}{self.mem_offset_imm}" \
+                if self.mem_offset_imm or not self.add_offset else ""
         if self.pre_indexed:
             inner = f"[{base}, {off}]" if off else f"[{base}]"
             return inner + ("!" if self.writeback else "")
@@ -421,7 +423,7 @@ class ArmInsn:
         if op in (Op.VLDR, Op.VSTR):
             sign = "" if self.add_offset else "-"
             off = f", #{sign}{self.mem_offset_imm}" \
-                if self.mem_offset_imm else ""
+                if self.mem_offset_imm or not self.add_offset else ""
             return (f"{op.value}{cond_text} s{self.fd}, "
                     f"[{reg_name(self.rn)}{off}]")
         if op is Op.VMOVSR:

@@ -72,21 +72,28 @@ def _robustness_kwargs(inject) -> Dict:
 
 def make_machine(workload: Workload, engine: str,
                  config: Optional[OptConfig] = None,
-                 inject=None, tracer=None, profiler=None) -> Machine:
-    """Build a machine with the kernel + workload loaded and devices set up."""
+                 inject=None, tracer=None, profiler=None,
+                 check: bool = False) -> Machine:
+    """Build a machine with the kernel + workload loaded and devices set up.
+
+    *check* enables the rules engine's verify-before-enter mode: every
+    rules-tier TB is statically verified before entering the code cache
+    (``repro run --check``; ignored by the interp/tcg engines)."""
     kwargs = _robustness_kwargs(inject)
     if tracer is not None:
         kwargs["tracer"] = tracer
     if profiler is not None:
         kwargs["profiler"] = profiler
     if engine in _LEVEL_BY_SPEC:
-        factory = make_rule_engine(_LEVEL_BY_SPEC[engine], config=config)
+        factory = make_rule_engine(_LEVEL_BY_SPEC[engine], config=config,
+                                   check=check)
         machine = Machine(engine="rules", rule_engine_factory=factory,
                           **kwargs)
     elif engine == "rules-custom":
         if config is None:
             raise ValueError("rules-custom requires an OptConfig")
-        factory = make_rule_engine(OptLevel.FULL, config=config)
+        factory = make_rule_engine(OptLevel.FULL, config=config,
+                                   check=check)
         machine = Machine(engine="rules", rule_engine_factory=factory,
                           **kwargs)
     elif engine in ("interp", "tcg"):
@@ -110,9 +117,10 @@ def make_machine(workload: Workload, engine: str,
 
 def run_workload(workload: Workload, engine: str,
                  config: Optional[OptConfig] = None,
-                 inject=None, tracer=None, profiler=None) -> RunResult:
+                 inject=None, tracer=None, profiler=None,
+                 check: bool = False) -> RunResult:
     machine = make_machine(workload, engine, config, inject=inject,
-                           tracer=tracer, profiler=profiler)
+                           tracer=tracer, profiler=profiler, check=check)
     exit_code = machine.run(workload.max_insns)
     output = machine.uart.text
     if workload.expected_output is not None and \

@@ -27,6 +27,10 @@ class LearnResult:
     verified: int = 0
     proved: int = 0
     rejected: List[str] = field(default_factory=list)
+    #: the concrete candidates behind the rules, kept so the soundness
+    #: checker (repro.analysis.rulecheck) can re-verify each rulebook
+    #: entry symbolically and attribute verdicts back to rule origins.
+    verified_candidates: List[CandidateRule] = field(default_factory=list)
 
     def summary(self) -> str:
         return (f"{self.candidates} candidates -> {self.verified} verified "
@@ -53,4 +57,5 @@ def learn(source: str = TRAINING_SOURCE) -> LearnResult:
         raw_rules.append(parameterize(candidate, verdict.proved))
     result.rules = merge_rules(raw_rules)
     result.rulebook = build_rulebook(result.rules, verified_candidates)
+    result.verified_candidates = verified_candidates
     return result

@@ -11,6 +11,11 @@ candidate and check that they compute the same observable state:
 
 Candidates the executors cannot model (or that fail the check) are
 rejected — they never become rules, exactly as in the paper.
+
+This check gates what enters the rulebook; `repro.analysis.rulecheck`
+independently re-classifies every candidate afterwards (BDD
+bit-blasting, `proved`/`tested-only`/`refuted`) as part of
+``repro check``, and refuted rules are auto-quarantined.
 """
 
 from __future__ import annotations

@@ -432,11 +432,22 @@ class DbtEngineBase:
             machine.tracer.emit("decode.block", pc=pc, n_insns=len(insns))
         return insns
 
+    def _vet_tb(self, tb: TranslationBlock) -> TranslationBlock:
+        """Hook between instrumentation and cache insertion.
+
+        Engines with a verify-before-enter mode (``--check``) override
+        this to run the static soundness checker on the freshly
+        translated block and degrade it before it can ever execute.
+        Returns the block to insert (possibly a retranslation at a
+        lower tier)."""
+        return tb
+
     def get_tb(self, pc: int, mmu_idx: int) -> TranslationBlock:
         tb = self.cache.lookup(pc, mmu_idx)
         if tb is None:
             tb = self.translate(pc, mmu_idx)
             self.machine.injector.instrument_tb(tb)
+            tb = self._vet_tb(tb)
             self.cache.insert(tb)
             host = self.machine.host
             cost = COST_TRANSLATE_PER_INSN * tb.guest_insn_count

@@ -25,12 +25,22 @@ site             where it fires                                effect
                  that models a crashing rule body              +invalidate
 ``rule-wrong``   post-translate TB instrumentation: a silent   self-check
                  wrong-result corruption of a pure TB          catches it
+``drop-save``    post-translate TB instrumentation: delete a   checker
+                 sync-save (and its audit event)               flags it
+``forge-elide``  post-translate TB instrumentation: delete a   checker
+                 sync-save and forge an elision justification  flags it
 ===============  ============================================  ==========
 
 Rate sites (``fetch``/``mem``/``helper``/``irq-storm``/``rule-crash``)
 fire probabilistically; the op-targeted sites (``rule-corrupt=OP``,
 ``rule-wrong=OP``) fire deterministically on every rules-tier TB that
 applied the named rule, modelling a *persistently* bad learned rule.
+
+The *analysis* sites (``drop-save``/``forge-elide``) are rate sites
+consulted once per eligible rules-tier TB: they model a translator that
+silently failed to coordinate (or lied about why coordination was
+unnecessary).  The running guest may or may not notice; the static
+soundness checker (``repro check`` / ``--check``) must.
 """
 
 from __future__ import annotations
@@ -45,6 +55,9 @@ from ..common.errors import InjectedFault, ReproError, RuleApplicationError
 RATE_SITES = ("fetch", "mem", "helper", "irq-storm", "rule-crash")
 #: Op-targeted sites (value is a guest Op name, e.g. ``EOR``).
 OP_SITES = ("rule-corrupt", "rule-wrong")
+#: Analysis-level sites (rate per eligible rules-tier TB): soundness
+#: violations the static checker must detect.
+ANALYSIS_SITES = ("drop-save", "forge-elide")
 
 
 @dataclass(frozen=True)
@@ -83,7 +96,7 @@ def parse_inject_spec(spec: str) -> FaultPlan:
         value = value.strip()
         if key == "seed":
             seed = int(value, 0)
-        elif key in RATE_SITES:
+        elif key in RATE_SITES or key in ANALYSIS_SITES:
             rate = float(value)
             if not 0.0 <= rate <= 1.0:
                 raise ReproError(f"--inject rate for {key!r} out of [0,1]: "
@@ -94,7 +107,8 @@ def parse_inject_spec(spec: str) -> FaultPlan:
         elif key == "rule-wrong":
             wrong.add(value.upper())
         else:
-            known = ", ".join(RATE_SITES + OP_SITES + ("seed",))
+            known = ", ".join(RATE_SITES + ANALYSIS_SITES + OP_SITES +
+                              ("seed",))
             raise ReproError(f"unknown --inject site {key!r} (one of: "
                              f"{known})")
     return FaultPlan(seed=seed, rates=rates,
@@ -218,6 +232,8 @@ class FaultInjector(NullInjector):
             self._prepend(tb, _make_trap_helper(hit[0]))
             tb.meta["injected"] = "rule-corrupt"
             return
+        if self._corrupt_analysis(tb):
+            return
         # Wrong-result corruption only targets *pure* (self-checkable)
         # TBs: the differential self-check is the detector under test,
         # and an undetectable silent corruption would just break the
@@ -232,13 +248,91 @@ class FaultInjector(NullInjector):
 
     @staticmethod
     def _prepend(tb, helper) -> None:
+        from ..analysis.justify import AUDIT_KEY, JUSTIFY_KEY, shift_indices
         from ..host.isa import X86Insn, X86Op
 
         for insn in tb.code:
             if insn.target_index >= 0:
                 insn.target_index += 1
+        # Keep the audit/justification bookkeeping aligned: the static
+        # checker must see a well-formed (if doomed-at-runtime) TB, not
+        # a bookkeeping mismatch.
+        for key in (AUDIT_KEY, JUSTIFY_KEY):
+            if tb.meta.get(key):
+                tb.meta[key] = shift_indices(tb.meta[key], 0, 1)
         tb.code.insert(0, X86Insn(X86Op.CALL_HELPER, helper=helper,
                                   tag="injected"))
+
+    # -- analysis-level soundness corruption -------------------------------
+
+    def _corrupt_analysis(self, tb) -> bool:
+        """Apply at most one analysis-site corruption to *tb*.
+
+        Both sites delete an emitted sync-save, modelling a translator
+        that skipped coordination; ``forge-elide`` additionally plants a
+        justification record claiming the skip was legal.  Only the
+        static soundness checker can notice (the guest may happen to
+        survive), so these TBs are *not* entry-trapped."""
+        from ..analysis.justify import AUDIT_KEY, EV_SAVE
+
+        saves = [event for event in (tb.meta.get(AUDIT_KEY) or ())
+                 if event["kind"] == EV_SAVE]
+        if not saves:
+            return False
+        for site in ("drop-save", "forge-elide"):
+            if self.plan.rates.get(site, 0.0) <= 0.0 or \
+                    not self.fires(site):
+                continue
+            event = saves[self._stream(site).randrange(len(saves))]
+            if site == "drop-save":
+                self._drop_save(tb, event)
+            else:
+                self._forge_elide(tb, event)
+            tb.meta["injected"] = site
+            return True
+        return False
+
+    def _drop_save(self, tb, event) -> None:
+        """Delete a sync-save and its audit event (a translator that
+        silently failed to coordinate)."""
+        self._remove_range(tb, event)
+
+    def _forge_elide(self, tb, event) -> None:
+        """Delete a sync-save and forge the Sec III-C-2 claim that env
+        already held a current copy (a lying elimination pass)."""
+        from ..analysis.justify import JUSTIFY_KEY, elide_save_justification
+
+        start = event["start"]
+        mode = event.get("mode", "packed")
+        self._remove_range(tb, event)
+        records = list(tb.meta.get(JUSTIFY_KEY) or ())
+        records.append(elide_save_justification(
+            start, packed_ok=mode == "packed", parsed_ok=mode == "parsed"))
+        tb.meta[JUSTIFY_KEY] = records
+
+    @staticmethod
+    def _remove_range(tb, event) -> None:
+        """Remove the host instructions of one audit event, keeping the
+        remaining bookkeeping (and intra-TB jumps) aligned."""
+        from ..analysis.justify import AUDIT_KEY, JUSTIFY_KEY, shift_indices
+
+        start, end = event["start"], event["end"]
+        delta = end - start
+        del tb.code[start:end]
+        for insn in tb.code:
+            if insn.target_index >= end:
+                insn.target_index -= delta
+            elif insn.target_index >= start:
+                # Defensive: a jump into the removed range now lands on
+                # the instruction that follows it.
+                insn.target_index = start
+        audit = [e for e in (tb.meta.get(AUDIT_KEY) or ()) if e is not event]
+        # Shift from start+1 so ranges *ending* exactly at the removal
+        # point keep their end; anything at or beyond the removed
+        # range's end moves down.
+        tb.meta[AUDIT_KEY] = shift_indices(audit, start + 1, -delta)
+        records = list(tb.meta.get(JUSTIFY_KEY) or ())
+        tb.meta[JUSTIFY_KEY] = shift_indices(records, start + 1, -delta)
 
     # -- reporting ---------------------------------------------------------
 
