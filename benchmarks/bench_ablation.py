@@ -4,58 +4,23 @@ The paper evaluates the optimizations cumulatively (Fig 16); this bench
 toggles each :class:`~repro.core.OptConfig` switch independently on a
 representative workload subset to show where the win comes from, plus
 the interrupt-check relocation variant of Sec III-D-2.
+
+The sweep itself lives in :func:`repro.harness.ablation` so that
+``repro bench`` (the continuous-benchmarking orchestrator) and this
+pytest-benchmark entry point are the same experiment — this file only
+adds the wall-clock measurement and the sanity assertions.
 """
 
-from repro.core import OptConfig
-from repro.harness import format_table, geomean, run_workload
-from repro.workloads.spec import SPEC_WORKLOADS
-
-#: representative subset (memory-heavy, branchy, balanced).
-SUBSET = ["mcf", "xalancbmk", "bzip2", "hmmer"]
-
-CONFIGS = {
-    "base": OptConfig(),
-    "packed only": OptConfig(packed_sync=True),
-    "elimination only": OptConfig(eliminate_redundant=True, inter_tb=True),
-    "packed + elimination": OptConfig(packed_sync=True,
-                                      eliminate_redundant=True,
-                                      inter_tb=True),
-    "full (no inter-TB)": OptConfig(packed_sync=True,
-                                    eliminate_redundant=True,
-                                    scheduling=True),
-    "full": OptConfig(packed_sync=True, eliminate_redundant=True,
-                      inter_tb=True, scheduling=True),
-    "full + irq-relocation": OptConfig(packed_sync=True,
-                                       eliminate_redundant=True,
-                                       inter_tb=True, scheduling=True,
-                                       irq_scheduling=True),
-}
-
-
-def _sweep():
-    qemu = {name: run_workload(SPEC_WORKLOADS[name], "tcg").runtime
-            for name in SUBSET}
-    speedups = {}
-    for label, config in CONFIGS.items():
-        runtimes = [run_workload(SPEC_WORKLOADS[name], "rules-custom",
-                                 config=config).runtime
-                    for name in SUBSET]
-        speedups[label] = geomean([qemu[name] / runtime
-                                   for name, runtime in
-                                   zip(SUBSET, runtimes)])
-    return speedups
+from repro.harness import ablation
+from repro.harness.experiments import ABLATION_SUBSET
 
 
 def test_ablation(benchmark, save):
-    speedups = benchmark.pedantic(_sweep, rounds=1, iterations=1)
-    save("ablation", format_table(
-        ["Configuration", "Speedup (x)"],
-        [[label, value] for label, value in speedups.items()],
-        title="Ablation: individual optimization switches "
-              f"(subset: {', '.join(SUBSET)})"),
-        summary=speedups,
-        config={"subset": SUBSET, "engine": "rules-custom",
-                "baseline": "tcg"})
+    result = benchmark.pedantic(ablation, rounds=1, iterations=1)
+    save("ablation", result,
+         config={"subset": ABLATION_SUBSET, "engine": "rules-custom",
+                 "baseline": "tcg"})
+    speedups = result.summary
     # Packing and elimination each help on their own; combined they beat
     # either alone; inter-TB contributes on top.
     assert speedups["packed only"] > speedups["base"]

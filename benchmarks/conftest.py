@@ -19,23 +19,42 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 def save_result(name, result, summary=None, config=None) -> None:
     """Persist one benchmark result.
 
-    *result* is either a rendered table string or an
-    :class:`repro.harness.ExperimentResult` (duck-typed: anything with
-    ``.text`` / ``.rows`` / ``.summary``).  The text goes to
-    ``<name>.txt``; a JSON document with the metrics goes to
-    ``<name>.json``.  Extra *summary* scalars and the benchmark
-    *config* are merged into the JSON.
+    *result* is either an :class:`repro.harness.ExperimentResult`
+    (duck-typed: anything with ``.text`` / ``.rows`` / ``.summary``) or
+    a rendered table string accompanied by an explicit ``summary=``
+    dict — a bare string used to silently produce a metric-free
+    ``{"rows": [], "summary": {}}`` JSON companion that the regression
+    tooling could not gate on.  The text goes to ``<name>.txt``; the
+    schema-validated metric payload goes to ``<name>.json``.  Extra
+    *summary* scalars and the benchmark *config* are merged in.
     """
+    from repro.observability import validate_result_payload
+
     RESULTS_DIR.mkdir(exist_ok=True)
     if hasattr(result, "text"):
         text = result.text
         payload = {"name": name, "rows": list(result.rows),
                    "summary": dict(result.summary)}
-    else:
+    elif isinstance(result, str):
+        if not summary:
+            raise TypeError(
+                f"save_result({name!r}): a plain string result needs an "
+                f"explicit summary= dict of metrics — otherwise the JSON "
+                f"companion carries no gateable data. Pass an "
+                f"ExperimentResult or the metrics.")
         text = result
         payload = {"name": name, "rows": [], "summary": {}}
+    else:
+        raise TypeError(
+            f"save_result({name!r}): expected an ExperimentResult or a "
+            f"string, got {type(result).__name__}")
     if summary:
         payload["summary"].update(summary)
+    problems = validate_result_payload(payload)
+    if problems:
+        raise ValueError(
+            f"save_result({name!r}): payload violates the result "
+            f"schema: " + "; ".join(problems))
     if config is not None:
         payload["config"] = config
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

@@ -8,7 +8,14 @@ Commands:
 - ``exec FILE.s [--engine E]`` — assemble a user program (the body after
   the kernel's syscall prelude; must define ``main``) and run it under
   the mini guest OS.
-- ``bench EXPERIMENT`` — reproduce one paper table/figure (or ``all``).
+- ``bench [EXPERIMENT]`` — with an experiment name, reproduce one paper
+  table/figure (or ``all``); without one, run the continuous-benchmark
+  suite: write a trajectory snapshot (``BENCH_<n>.json``), and with
+  ``--compare BASELINE --fail-on regressed`` gate it against a blessed
+  baseline, attributing any regression to the Sec III coordination-cost
+  category that moved.  ``--quick`` keeps the SPEC-sweep experiments
+  only; ``--inject seed=1,extra-sync=0.5`` turns the fault injector
+  into a regression simulator the gate must catch.
 - ``learn [--save PATH]`` — run the rule-learning pipeline; optionally
   save the rulebook as JSON.
 - ``compare WORKLOAD`` — run one workload on every engine and print a
@@ -339,6 +346,13 @@ def cmd_compare(args) -> int:
 
 
 def cmd_bench(args) -> int:
+    if args.experiment is not None:
+        return _bench_experiment(args)
+    return _bench_suite(args)
+
+
+def _bench_experiment(args) -> int:
+    """Legacy mode: print one paper figure (or ``all``)."""
     names = sorted(ALL_EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]
     for name in names:
@@ -351,6 +365,89 @@ def cmd_bench(args) -> int:
         print(experiment().text)
         print()
     return 0
+
+
+def _bench_suite(args) -> int:
+    """Suite mode: run the benchmark suite, write a trajectory snapshot,
+    optionally compare against a blessed baseline and gate."""
+    import json
+
+    from .common.errors import ReproError
+    from .observability import (IncomparableSnapshots, compare_snapshots,
+                                load_snapshot, next_snapshot_path,
+                                render_snapshot, run_suite,
+                                validate_snapshot, write_snapshot)
+    from .observability.regress import GATE_LEVELS
+
+    if args.fail_on not in GATE_LEVELS:
+        print(f"unknown --fail-on level {args.fail_on!r} "
+              f"(one of: {', '.join(sorted(GATE_LEVELS))})",
+              file=sys.stderr)
+        return 2
+    if args.workload:
+        unknown = [w for w in args.workload if w not in ALL_WORKLOADS]
+        if unknown:
+            print(f"unknown workload(s): {', '.join(unknown)} "
+                  f"(try: python -m repro list)", file=sys.stderr)
+            return 2
+        mode = "custom"
+        sweep = tuple(args.workload)
+    else:
+        mode = "quick" if args.quick else "full"
+        sweep = None
+
+    def progress(message: str) -> None:
+        print(f"bench: {message}", file=sys.stderr)
+
+    try:
+        snapshot = run_suite(
+            mode=mode, sweep_workloads=sweep, inject=args.inject,
+            wallclock_samples=args.samples,
+            results_dir=RESULTS_DIR if args.export_results else None,
+            progress=progress)
+    except (ReproError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    problems = validate_snapshot(snapshot)
+    if problems:
+        for problem in problems:
+            print(f"internal error: snapshot invalid: {problem}",
+                  file=sys.stderr)
+        return 2
+
+    out = args.out or next_snapshot_path(".")
+    write_snapshot(out, snapshot)
+    print(f"snapshot written to {out}", file=sys.stderr)
+
+    if args.compare is None:
+        if args.format == "json":
+            print(json.dumps(snapshot, indent=1, sort_keys=True))
+        else:
+            print(render_snapshot(snapshot))
+        return 0
+
+    try:
+        baseline = load_snapshot(args.compare)
+    except (OSError, ValueError) as error:
+        print(f"error: cannot load baseline {args.compare!r}: {error}",
+              file=sys.stderr)
+        return 2
+    try:
+        report = compare_snapshots(baseline, snapshot,
+                                   gate_wallclock=args.gate_wallclock)
+    except IncomparableSnapshots as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.render_table())
+    code = report.exit_code(args.fail_on)
+    if code:
+        failing = report.gating_verdicts(args.fail_on)
+        print(f"perf gate FAILED: {len(failing)} metric(s) at or above "
+              f"--fail-on {args.fail_on}", file=sys.stderr)
+    return code
 
 
 def cmd_learn(args) -> int:
@@ -460,8 +557,47 @@ def main(argv=None) -> int:
                                     help="compare engines on a workload")
     compare_parser.add_argument("workload")
 
-    bench_parser = sub.add_parser("bench", help="reproduce a paper figure")
-    bench_parser.add_argument("experiment")
+    bench_parser = sub.add_parser(
+        "bench",
+        help="run the benchmark suite (snapshot + regression gate), or "
+             "print one paper figure")
+    bench_parser.add_argument(
+        "experiment", nargs="?", default=None,
+        help="legacy mode: print this experiment (or 'all') and exit; "
+             "omit to run the suite")
+    bench_parser.add_argument("--quick", action="store_true",
+                              help="SPEC-sweep experiments only (skips "
+                                   "ablation/fig19/footnote3)")
+    bench_parser.add_argument("--workload", action="append", default=[],
+                              metavar="NAME",
+                              help="custom sweep over these workloads "
+                                   "(repeatable; skips figure experiments)")
+    bench_parser.add_argument("--inject", metavar="SPEC", default=None,
+                              help="fault-injection spec threaded through "
+                                   "the sweep (extra-sync simulates a "
+                                   "perf regression)")
+    bench_parser.add_argument("--out", metavar="PATH", default=None,
+                              help="snapshot output path (default: next "
+                                   "free BENCH_<n>.json in the repo root)")
+    bench_parser.add_argument("--compare", metavar="BASELINE",
+                              default=None,
+                              help="compare against this baseline "
+                                   "snapshot and gate")
+    bench_parser.add_argument("--fail-on", metavar="LEVEL",
+                              default="regressed",
+                              help="gate level: regressed/changed/never "
+                                   "(default regressed)")
+    bench_parser.add_argument("--format", choices=("table", "json"),
+                              default="table")
+    bench_parser.add_argument("--export-results", action="store_true",
+                              help="also write benchmarks/results/"
+                                   "<name>.{txt,json} companions")
+    bench_parser.add_argument("--samples", type=int, default=None,
+                              help="wall-clock translation samples "
+                                   "(default per mode)")
+    bench_parser.add_argument("--gate-wallclock", action="store_true",
+                              help="let wall-clock metrics fail the gate "
+                                   "(off by default: CI jitter)")
 
     learn_parser = sub.add_parser("learn", help="run the learning pipeline")
     learn_parser.add_argument("--save", metavar="PATH", default=None)

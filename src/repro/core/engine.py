@@ -154,6 +154,8 @@ class RuleEngine(DbtEngineBase):
         sync_ops = 0
         sync_insns = 0
         sync_elisions = 0
+        covered_dyn = 0
+        uncovered_dyn = 0
         for tb in self.cache.all_tbs():
             meta = tb.meta
             weight = tb.exec_count
@@ -162,10 +164,20 @@ class RuleEngine(DbtEngineBase):
             sync_insns += weight * meta.get("sync_insns", 0)
             sync_elisions += weight * (meta.get("sync_elisions", 0) +
                                        meta.get("inter_tb_elisions", 0))
+            n_uncovered = meta.get("n_uncovered", 0)
+            n_system = meta.get("n_system", 0)
+            uncovered_dyn += weight * n_uncovered
+            covered_dyn += weight * max(
+                tb.guest_insn_count - n_uncovered - n_system, 0)
         base.update({
             "sync_ops_dyn": float(sync_ops),
             "sync_insns_weighted": float(sync_insns),
             "sync_elisions_dyn": float(sync_elisions),
+            # Dynamic rule coverage (the HERMES-style accounting): guest
+            # instructions translated by learned rules vs routed through
+            # the TCG fallback, weighted by execution count.
+            "rule_covered_insns_dyn": float(covered_dyn),
+            "rule_uncovered_insns_dyn": float(uncovered_dyn),
             "flag_parses": float(self.machine.runtime.flag_parse_count),
             "opt_level": float(self.level),
         })

@@ -369,6 +369,61 @@ def footnote3() -> ExperimentResult:
     return result
 
 
+# ---------------------------------------------------------------------------
+# Ablation over the individual optimization switches (not a paper
+# figure; complements Fig 16's cumulative view).
+# ---------------------------------------------------------------------------
+
+#: Representative subset (memory-heavy, branchy, balanced).
+ABLATION_SUBSET = ["mcf", "xalancbmk", "bzip2", "hmmer"]
+
+
+def _ablation_configs() -> Dict[str, "OptConfig"]:
+    from ..core import OptConfig
+
+    return {
+        "base": OptConfig(),
+        "packed only": OptConfig(packed_sync=True),
+        "elimination only": OptConfig(eliminate_redundant=True,
+                                      inter_tb=True),
+        "packed + elimination": OptConfig(packed_sync=True,
+                                          eliminate_redundant=True,
+                                          inter_tb=True),
+        "full (no inter-TB)": OptConfig(packed_sync=True,
+                                        eliminate_redundant=True,
+                                        scheduling=True),
+        "full": OptConfig(packed_sync=True, eliminate_redundant=True,
+                          inter_tb=True, scheduling=True),
+        "full + irq-relocation": OptConfig(packed_sync=True,
+                                           eliminate_redundant=True,
+                                           inter_tb=True, scheduling=True,
+                                           irq_scheduling=True),
+    }
+
+
+def ablation() -> ExperimentResult:
+    """Per-switch ablation on a representative workload subset."""
+    from .runner import current_cache_inject, run_workload
+
+    result = ExperimentResult("ablation")
+    inject = current_cache_inject()
+    qemu = {name: run_cached(SPEC_WORKLOADS[name], "tcg").runtime
+            for name in ABLATION_SUBSET}
+    for label, config in _ablation_configs().items():
+        runtimes = [run_workload(SPEC_WORKLOADS[name], "rules-custom",
+                                 config=config, inject=inject).runtime
+                    for name in ABLATION_SUBSET]
+        result.summary[label] = geomean(
+            [qemu[name] / runtime
+             for name, runtime in zip(ABLATION_SUBSET, runtimes)])
+    result.text = format_table(
+        ["Configuration", "Speedup (x)"],
+        [[label, value] for label, value in result.summary.items()],
+        title="Ablation: individual optimization switches "
+              f"(subset: {', '.join(ABLATION_SUBSET)})")
+    return result
+
+
 ALL_EXPERIMENTS = {
     "table1": table1,
     "fig8": fig8,
@@ -378,6 +433,7 @@ ALL_EXPERIMENTS = {
     "fig17": fig17,
     "fig18": fig18,
     "fig19": fig19,
+    "ablation": ablation,
     "coordination": coordination_claims,
     "footnote3": footnote3,
 }

@@ -150,13 +150,45 @@ def run_workload(workload: Workload, engine: str,
 # Process-wide memoization: the figure benchmarks share one sweep.
 # ---------------------------------------------------------------------------
 
-_CACHE: Dict[Tuple[str, str], RunResult] = {}
+_CACHE: Dict[Tuple[str, str, str], RunResult] = {}
+
+#: Fault plan applied to every ``run_cached`` miss (see
+#: :func:`set_cache_inject`); part of the cache key, so injected and
+#: clean sweeps never alias.
+_CACHE_INJECT: Optional[FaultPlan] = None
+_CACHE_INJECT_SPEC: str = ""
+
+
+def set_cache_inject(inject=None) -> Optional[FaultPlan]:
+    """Install a fault plan for the shared sweep (``None`` clears it).
+
+    The ``repro bench`` orchestrator uses this to thread an ``--inject``
+    spec through the whole figure pipeline without changing any
+    experiment's code — which is how the injector's ``extra-sync`` site
+    doubles as an end-to-end regression simulator for the perf gate.
+    Returns the parsed plan.
+    """
+    global _CACHE_INJECT, _CACHE_INJECT_SPEC
+    if not inject:
+        _CACHE_INJECT, _CACHE_INJECT_SPEC = None, ""
+        return None
+    plan = parse_inject_spec(inject) if isinstance(inject, str) else inject
+    if not isinstance(plan, FaultPlan):
+        raise ValueError(f"bad inject value {inject!r}")
+    _CACHE_INJECT, _CACHE_INJECT_SPEC = plan, plan.describe()
+    return plan
+
+
+def current_cache_inject() -> Optional[FaultPlan]:
+    """The fault plan the shared sweep currently runs under (or None)."""
+    return _CACHE_INJECT
 
 
 def run_cached(workload: Workload, engine: str) -> RunResult:
-    key = (workload.name, engine)
+    key = (workload.name, engine, _CACHE_INJECT_SPEC)
     if key not in _CACHE:
-        _CACHE[key] = run_workload(workload, engine)
+        _CACHE[key] = run_workload(workload, engine,
+                                   inject=_CACHE_INJECT)
     return _CACHE[key]
 
 

@@ -29,6 +29,8 @@ site             where it fires                                effect
                  sync-save (and its audit event)               flags it
 ``forge-elide``  post-translate TB instrumentation: delete a   checker
                  sync-save and forge an elision justification  flags it
+``extra-sync``   post-translate TB instrumentation: insert     perf gate
+                 redundant sync-save instructions at TB entry  flags it
 ===============  ============================================  ==========
 
 Rate sites (``fetch``/``mem``/``helper``/``irq-storm``/``rule-crash``)
@@ -41,6 +43,14 @@ consulted once per eligible rules-tier TB: they model a translator that
 silently failed to coordinate (or lied about why coordination was
 unnecessary).  The running guest may or may not notice; the static
 soundness checker (``repro check`` / ``--check``) must.
+
+The *performance* site (``extra-sync``) is the inverse: a rate site
+that inserts behaviour-preserving but *redundant* coordination
+instructions into rules-tier TBs, modelling a translator whose
+sync-save optimizations (Sec III-B/C) silently stopped firing.  Neither
+the guest nor the soundness checker can object — only the continuous
+benchmarking gate (``repro bench --compare``) detects it, which makes
+the gate's own detection path testable end to end.
 """
 
 from __future__ import annotations
@@ -58,6 +68,13 @@ OP_SITES = ("rule-corrupt", "rule-wrong")
 #: Analysis-level sites (rate per eligible rules-tier TB): soundness
 #: violations the static checker must detect.
 ANALYSIS_SITES = ("drop-save", "forge-elide")
+#: Performance-regression site (rate per rules-tier TB): sound but slow
+#: code only the benchmark gate can flag.
+PERF_SITES = ("extra-sync",)
+
+#: Redundant sync instructions ``extra-sync`` inserts per fired TB —
+#: two packed saves' worth (Fig 8: a packed save is ~3 instructions).
+EXTRA_SYNC_INSNS = 6
 
 
 @dataclass(frozen=True)
@@ -96,7 +113,8 @@ def parse_inject_spec(spec: str) -> FaultPlan:
         value = value.strip()
         if key == "seed":
             seed = int(value, 0)
-        elif key in RATE_SITES or key in ANALYSIS_SITES:
+        elif key in RATE_SITES or key in ANALYSIS_SITES or \
+                key in PERF_SITES:
             rate = float(value)
             if not 0.0 <= rate <= 1.0:
                 raise ReproError(f"--inject rate for {key!r} out of [0,1]: "
@@ -107,8 +125,8 @@ def parse_inject_spec(spec: str) -> FaultPlan:
         elif key == "rule-wrong":
             wrong.add(value.upper())
         else:
-            known = ", ".join(RATE_SITES + ANALYSIS_SITES + OP_SITES +
-                              ("seed",))
+            known = ", ".join(RATE_SITES + ANALYSIS_SITES + PERF_SITES +
+                              OP_SITES + ("seed",))
             raise ReproError(f"unknown --inject site {key!r} (one of: "
                              f"{known})")
     return FaultPlan(seed=seed, rates=rates,
@@ -225,6 +243,7 @@ class FaultInjector(NullInjector):
         """
         if not tb.code or tb.meta.get("tier", "rules") != "rules":
             return
+        self._extra_sync(tb)
         used = tb.meta.get("rules_used") or ()
         hit = sorted(self.plan.corrupt_rules.intersection(used))
         if hit:
@@ -262,6 +281,35 @@ class FaultInjector(NullInjector):
                 tb.meta[key] = shift_indices(tb.meta[key], 0, 1)
         tb.code.insert(0, X86Insn(X86Op.CALL_HELPER, helper=helper,
                                   tag="injected"))
+
+    # -- performance regression simulation ---------------------------------
+
+    def _extra_sync(self, tb) -> None:
+        """Insert redundant sync instructions at TB entry (``extra-sync``).
+
+        The inserted instructions are architectural no-ops carrying the
+        ``sync`` cost tag, and the TB's static ``sync_insns`` counter is
+        bumped to match — so every Sec III coordination metric (the
+        breakdown's ``coordination`` category, Fig 8's insns-per-sync,
+        Fig 17's sync-per-guest) degrades exactly as if the translator
+        had emitted pointless coordination, while guest behaviour and
+        the soundness bookkeeping stay intact.
+        """
+        if not self.fires("extra-sync"):
+            return
+        from ..analysis.justify import AUDIT_KEY, JUSTIFY_KEY, shift_indices
+        from ..host.isa import X86Insn, X86Op
+
+        count = EXTRA_SYNC_INSNS
+        for insn in tb.code:
+            if insn.target_index >= 0:
+                insn.target_index += count
+        for key in (AUDIT_KEY, JUSTIFY_KEY):
+            if tb.meta.get(key):
+                tb.meta[key] = shift_indices(tb.meta[key], 0, count)
+        for _ in range(count):
+            tb.code.insert(0, X86Insn(X86Op.NOPSLOT, tag="sync"))
+        tb.meta["sync_insns"] = tb.meta.get("sync_insns", 0) + count
 
     # -- analysis-level soundness corruption -------------------------------
 
