@@ -1,0 +1,403 @@
+"""On-disk store for persisted rules-tier translation blocks.
+
+Layout (one *store* per context fingerprint, see
+:mod:`repro.cache.fingerprint`)::
+
+    <cache-dir>/
+        <fingerprint-key>/
+            manifest.json     schema, format version, fingerprint, counts
+            entries.json      serialized TBs keyed by (pc, mmu_idx)
+
+Every entry carries its exact guest machine words (address-ordered) and
+a per-entry integrity checksum; the manifest carries a whole-payload
+checksum.  Writes are atomic (temp file + ``os.replace``), so a killed
+run never leaves a half-written store — at worst a stale one, which the
+next run's load-time validation evicts entry by entry.
+
+Serialization notes:
+
+- Host instructions are dicts of their non-default fields; ``helper``
+  callables serialize as the ``persist`` spec stamped by the factories
+  in :mod:`repro.miniqemu.helpers` — a TB whose code calls a helper
+  without a spec (e.g. one injected by the fault injector) is simply
+  not persistable.
+- ``meta`` is persisted as-is (it is JSON-friendly by design: the PR 2
+  sync-site counters and the PR 3 audit/justification records are plain
+  dicts), except ``original_insns`` — the pre-scheduling instruction
+  objects.  When scheduling reordered the block, the entry records the
+  scheduled address order (``insn_order``); the loader re-decodes the
+  words and rebuilds both the scheduled ``guest_insns`` list and the
+  address-ordered ``original_insns``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..host.isa import Imm, Mem, Reg, X86Cond, X86Insn, X86Op, Xmm
+from .fingerprint import (FORMAT_VERSION, SCHEMA, entry_checksum,
+                          fingerprint_key)
+
+#: meta keys handled specially by (de)serialization.
+ORIGINAL_INSNS_KEY = "original_insns"
+PROVENANCE_KEY = "provenance"
+
+
+class UnpersistableTB(Exception):
+    """This TB cannot be represented in the store (not a data error)."""
+
+
+# ---------------------------------------------------------------------------
+# Host-code serialization.
+# ---------------------------------------------------------------------------
+
+
+def _encode_operand(operand: Any) -> Any:
+    if operand is None:
+        return None
+    if isinstance(operand, Reg):
+        return ["r", operand.number]
+    if isinstance(operand, Imm):
+        return ["i", operand.value]
+    if isinstance(operand, Xmm):
+        return ["x", operand.number]
+    if isinstance(operand, Mem):
+        return ["m", operand.base, operand.disp, operand.index,
+                operand.scale, operand.size]
+    if isinstance(operand, int):
+        return ["n", operand]
+    raise UnpersistableTB(f"operand {operand!r}")
+
+
+def _decode_operand(blob: Any) -> Any:
+    if blob is None:
+        return None
+    kind = blob[0]
+    if kind == "r":
+        return Reg(blob[1])
+    if kind == "i":
+        return Imm(blob[1])
+    if kind == "x":
+        return Xmm(blob[1])
+    if kind == "m":
+        return Mem(base=blob[1], disp=blob[2], index=blob[3],
+                   scale=blob[4], size=blob[5])
+    if kind == "n":
+        return blob[1]
+    raise ValueError(f"bad operand blob {blob!r}")
+
+
+def _encode_insn(insn: X86Insn) -> Dict[str, Any]:
+    blob: Dict[str, Any] = {"op": insn.op.name}
+    if insn.dst is not None:
+        blob["dst"] = _encode_operand(insn.dst)
+    if insn.src is not None:
+        blob["src"] = _encode_operand(insn.src)
+    if insn.cond is not None:
+        blob["cond"] = insn.cond.name
+    if insn.label is not None:
+        blob["label"] = insn.label
+    if insn.helper is not None:
+        spec = getattr(insn.helper, "persist", None)
+        if spec is None:
+            raise UnpersistableTB(
+                f"helper {getattr(insn.helper, '__name__', '?')} has no "
+                f"persist spec")
+        blob["helper"] = list(spec)
+    if insn.helper_args:
+        blob["args"] = [_encode_operand(arg) for arg in insn.helper_args]
+    if insn.imm:
+        blob["imm"] = insn.imm
+    if insn.tag != "code":
+        blob["tag"] = insn.tag
+    if insn.target_index != -1:
+        blob["ti"] = insn.target_index
+    return blob
+
+
+#: Enum members by name, hoisted out of the per-instruction hot path
+#: (the warm-start loader decodes tens of host insns per fetched TB).
+_X86_OPS = {op.name: op for op in X86Op}
+_X86_CONDS = {cond.name: cond for cond in X86Cond}
+
+
+def decode_insn(blob: Dict[str, Any], resolve_helper) -> X86Insn:
+    """Rebuild one host instruction; *resolve_helper* maps a persist
+    spec (list) back to a live helper callable."""
+    get = blob.get
+    helper_spec = get("helper")
+    args = get("args")
+    cond = get("cond")
+    return X86Insn(
+        op=_X86_OPS[blob["op"]],
+        dst=_decode_operand(get("dst")),
+        src=_decode_operand(get("src")),
+        cond=_X86_CONDS[cond] if cond is not None else None,
+        label=get("label"),
+        helper=resolve_helper(helper_spec) if helper_spec is not None
+        else None,
+        helper_args=tuple(_decode_operand(arg) for arg in args)
+        if args else (),
+        imm=get("imm", 0),
+        tag=get("tag", "code"),
+        target_index=get("ti", -1),
+    )
+
+
+# ---------------------------------------------------------------------------
+# TB -> entry.
+# ---------------------------------------------------------------------------
+
+
+def serialize_tb(tb) -> Dict[str, Any]:
+    """Serialize one rules-tier TB to a checksummed entry dict.
+
+    Raises :class:`UnpersistableTB` for blocks the store cannot
+    represent (non-rules tier, injected instrumentation, helpers
+    without persist specs, instructions without raw words)."""
+    meta = tb.meta
+    if meta.get("tier") != "rules":
+        raise UnpersistableTB(f"tier {meta.get('tier')!r}")
+    if meta.get("injected"):
+        raise UnpersistableTB("fault-injected TB")
+    by_addr = sorted(tb.guest_insns, key=lambda insn: insn.addr)
+    words: List[int] = []
+    for index, insn in enumerate(by_addr):
+        if insn.raw is None:
+            raise UnpersistableTB(f"no raw word at 0x{insn.addr:08x}")
+        if insn.addr != tb.pc + 4 * index:
+            raise UnpersistableTB("non-contiguous guest block")
+        words.append(insn.raw)
+    entry: Dict[str, Any] = {
+        "pc": tb.pc,
+        "mmu_idx": tb.mmu_idx,
+        "words": words,
+        "code": [_encode_insn(insn) for insn in tb.code],
+        "jmp_pc": list(tb.jmp_pc),
+    }
+    meta_blob = {key: value for key, value in meta.items()
+                 if key not in (ORIGINAL_INSNS_KEY, PROVENANCE_KEY)}
+    scheduled = [insn.addr for insn in tb.guest_insns]
+    if scheduled != [insn.addr for insn in by_addr]:
+        entry["insn_order"] = scheduled
+    try:
+        entry["meta"] = json.loads(json.dumps(meta_blob))
+    except (TypeError, ValueError) as error:
+        raise UnpersistableTB(f"non-JSON meta: {error}") from None
+    entry["sha256"] = entry_checksum(entry)
+    return entry
+
+
+# ---------------------------------------------------------------------------
+# The store.
+# ---------------------------------------------------------------------------
+
+
+class CacheStore:
+    """One fingerprint-keyed store directory under ``--cache-dir``."""
+
+    def __init__(self, root: str, fingerprint: Dict[str, Any]):
+        self.root = root
+        self.fingerprint = fingerprint
+        self.key = fingerprint_key(fingerprint)
+        self.directory = os.path.join(root, self.key)
+
+    # -- reading ------------------------------------------------------------
+
+    def load(self) -> Tuple[Dict[Tuple[int, int], Dict[str, Any]],
+                            List[str]]:
+        """Read all entries; returns ``(entries, problems)``.
+
+        Unreadable or mismatched stores return no entries (the engine
+        falls back to fresh translation); per-entry integrity is
+        checked by the loader at attach (``CacheLoader.load_index``)."""
+        manifest = _read_json(os.path.join(self.directory,
+                                           "manifest.json"))
+        if manifest is None:
+            return {}, []
+        problems = _check_manifest(manifest, expect_fingerprint=self.fingerprint)
+        if problems:
+            return {}, problems
+        payload = _read_json(os.path.join(self.directory, "entries.json"))
+        if payload is None or not isinstance(payload.get("entries"), list):
+            return {}, ["entries.json missing or malformed"]
+        entries: Dict[Tuple[int, int], Dict[str, Any]] = {}
+        for entry in payload["entries"]:
+            try:
+                entries[(int(entry["pc"]), int(entry["mmu_idx"]))] = entry
+            except (KeyError, TypeError, ValueError):
+                problems.append("entry without pc/mmu_idx")
+        return entries, problems
+
+    # -- writing ------------------------------------------------------------
+
+    def save(self, entries: Dict[Tuple[int, int], Dict[str, Any]]) -> None:
+        """Atomically write the store (manifest + entries)."""
+        os.makedirs(self.directory, exist_ok=True)
+        ordered = [entries[key] for key in sorted(entries)]
+        payload = {"entries": ordered}
+        # The trailing newline is part of the checksummed text: verify
+        # hashes the file exactly as read.
+        payload_text = json.dumps(payload, sort_keys=True, indent=1) + "\n"
+        manifest = {
+            "schema": SCHEMA,
+            "format_version": FORMAT_VERSION,
+            "fingerprint": self.fingerprint,
+            "entries": len(ordered),
+            "payload_sha256": _sha256_text(payload_text),
+        }
+        _write_atomic(os.path.join(self.directory, "entries.json"),
+                      payload_text)
+        _write_atomic(os.path.join(self.directory, "manifest.json"),
+                      json.dumps(manifest, sort_keys=True, indent=1)
+                      + "\n")
+
+
+# ---------------------------------------------------------------------------
+# Store maintenance (the ``repro cache`` CLI verb).
+# ---------------------------------------------------------------------------
+
+
+def iter_store_dirs(root: str) -> List[str]:
+    """Every store directory under *root* (a directory with a manifest)."""
+    if not os.path.isdir(root):
+        return []
+    found = []
+    for name in sorted(os.listdir(root)):
+        directory = os.path.join(root, name)
+        if os.path.isfile(os.path.join(directory, "manifest.json")):
+            found.append(directory)
+    return found
+
+
+def store_info(directory: str) -> Dict[str, Any]:
+    """Summary dict for one store (the ``cache info`` payload)."""
+    manifest = _read_json(os.path.join(directory, "manifest.json")) or {}
+    size = 0
+    for name in ("manifest.json", "entries.json"):
+        path = os.path.join(directory, name)
+        if os.path.isfile(path):
+            size += os.path.getsize(path)
+    return {
+        "key": os.path.basename(directory),
+        "entries": manifest.get("entries", 0),
+        "format_version": manifest.get("format_version"),
+        "fingerprint": manifest.get("fingerprint", {}),
+        "bytes": size,
+    }
+
+
+def verify_store(directory: str) -> List[str]:
+    """Deep integrity check of one store; returns problem strings.
+
+    Checks the manifest schema, the payload checksum, every entry's
+    checksum, and that every entry structurally decodes (guest words
+    through the ARM decoder, host code through the instruction
+    deserializer).  A non-empty result means the store is tampered or
+    corrupt; the engine's load path independently refuses such entries.
+    """
+    from ..common.errors import DecodingError
+    from ..guest.decoder import decode
+
+    problems: List[str] = []
+    manifest = _read_json(os.path.join(directory, "manifest.json"))
+    if manifest is None:
+        return ["manifest.json missing or unreadable"]
+    problems += _check_manifest(manifest)
+    entries_path = os.path.join(directory, "entries.json")
+    try:
+        with open(entries_path) as handle:
+            payload_text = handle.read()
+        payload = json.loads(payload_text)
+    except (OSError, ValueError) as error:
+        return problems + [f"entries.json unreadable: {error}"]
+    if manifest.get("payload_sha256") != _sha256_text(payload_text):
+        problems.append("payload checksum mismatch (tampered store)")
+    entries = payload.get("entries")
+    if not isinstance(entries, list):
+        return problems + ["entries.json malformed"]
+    if isinstance(manifest.get("entries"), int) and \
+            manifest["entries"] != len(entries):
+        problems.append(f"manifest says {manifest['entries']} entries, "
+                        f"store has {len(entries)}")
+    for entry in entries:
+        label = f"entry 0x{entry.get('pc', 0):08x}"
+        if entry.get("sha256") != entry_checksum(entry):
+            problems.append(f"{label}: checksum mismatch")
+            continue
+        for index, word in enumerate(entry.get("words", ())):
+            try:
+                decode(word, int(entry["pc"]) + 4 * index)
+            except DecodingError:
+                problems.append(f"{label}: word {index} undecodable")
+                break
+        try:
+            for blob in entry.get("code", ()):
+                decode_insn(blob, resolve_helper=lambda spec: None)
+        except (KeyError, ValueError, TypeError, IndexError) as error:
+            problems.append(f"{label}: bad host code: {error}")
+    return problems
+
+
+def clear_stores(root: str) -> int:
+    """Delete every store under *root*; returns the number removed."""
+    import shutil
+
+    removed = 0
+    for directory in iter_store_dirs(root):
+        shutil.rmtree(directory, ignore_errors=True)
+        removed += 1
+    return removed
+
+
+# ---------------------------------------------------------------------------
+# Internals.
+# ---------------------------------------------------------------------------
+
+
+def _check_manifest(manifest: Dict[str, Any],
+                    expect_fingerprint: Optional[Dict[str, Any]] = None
+                    ) -> List[str]:
+    problems = []
+    if manifest.get("schema") != SCHEMA:
+        problems.append(f"schema {manifest.get('schema')!r} != {SCHEMA!r}")
+    if manifest.get("format_version") != FORMAT_VERSION:
+        problems.append(f"format version {manifest.get('format_version')!r}"
+                        f" != {FORMAT_VERSION}")
+    if expect_fingerprint is not None and \
+            manifest.get("fingerprint") != expect_fingerprint:
+        problems.append("fingerprint mismatch")
+    return problems
+
+
+def _read_json(path: str) -> Optional[Dict[str, Any]]:
+    try:
+        with open(path) as handle:
+            obj = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    return obj if isinstance(obj, dict) else None
+
+
+def _sha256_text(text: str) -> str:
+    import hashlib
+
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _write_atomic(path: str, text: str) -> None:
+    directory = os.path.dirname(path)
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".tmp-")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Iterable, List, Optional
 
 from ..common.errors import DecodingError, MemoryFault
 from ..guest.isa import ArmInsn
@@ -47,10 +47,26 @@ class RuleEngine(DbtEngineBase):
         self.rulebook = StructuralFilter(self._quarantine)
         self.ladder.quarantine = self._quarantine
         self._live_in_cache: Dict[int, int] = {}
+        # Successor live-in facts depend on rule coverage: quarantining
+        # a rule turns its instructions uncovered, which changes every
+        # block's live-in, so cached facts must not outlive coverage
+        # changes (a stale entry would let the inter-TB optimization
+        # elide a flag sync the successor now needs).
+        self.cache.add_evict_listener(self._on_cache_evict)
 
     # ------------------------------------------------------------------
     # Successor analysis for the inter-TB optimization.
     # ------------------------------------------------------------------
+
+    def _on_cache_evict(self, victims: List[TranslationBlock],
+                        rules: Optional[Iterable[str]] = None) -> None:
+        if rules:
+            # Coverage changed (rule quarantine): every cached live-in
+            # fact is suspect, not just the evicted blocks'.
+            self._live_in_cache.clear()
+        else:
+            for tb in victims:
+                self._live_in_cache.pop(tb.pc, None)
 
     def successor_live_in(self, pc: int) -> int:
         cached = self._live_in_cache.get(pc)

@@ -56,6 +56,19 @@ class CodeCache:
         self.translated_guest_insns = 0   # static translation statistics
         self.translated_host_insns = 0
         self.invalidated = 0              # TBs evicted by the ladder
+        #: Eviction observers: ``fn(victims, rules)`` called after any
+        #: invalidation, with the evicted TBs and the quarantined rule
+        #: keys (None unless this was a rule-quarantine eviction).  The
+        #: rule engine uses this to drop stale successor live-in entries
+        #: and the persistent cache uses it to evict on-disk entries.
+        self._evict_listeners: List = []
+
+    def add_evict_listener(self, listener) -> None:
+        self._evict_listeners.append(listener)
+
+    def _notify_evict(self, victims, rules=None) -> None:
+        for listener in self._evict_listeners:
+            listener(victims, rules)
 
     def lookup(self, pc: int, mmu_idx: int) -> Optional[TranslationBlock]:
         return self._tbs.get((pc, mmu_idx))
@@ -66,7 +79,10 @@ class CodeCache:
         self.translated_host_insns += len(tb.code)
 
     def flush(self) -> None:
+        victims = list(self._tbs.values())
         self._tbs.clear()
+        if victims:
+            self._notify_evict(victims)
 
     # -- invalidation (the degradation ladder's eviction path) -------------
 
@@ -81,6 +97,7 @@ class CodeCache:
         del self._tbs[key]
         self.invalidated += 1
         self._unlink({id(tb)})
+        self._notify_evict([tb])
 
     def invalidate_rules(self, rules: Iterable[str]) -> int:
         """Evict every TB translated with any of the given rule keys.
@@ -96,6 +113,7 @@ class CodeCache:
             del self._tbs[(tb.pc, tb.mmu_idx)]
         self.invalidated += len(victims)
         self._unlink({id(tb) for tb in victims})
+        self._notify_evict(victims, wanted)
         return len(victims)
 
     def _unlink(self, removed_ids: set) -> None:
